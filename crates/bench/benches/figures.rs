@@ -1,0 +1,57 @@
+//! Regenerates Figures 3, 4, and 5 of the paper: proxy throughput for
+//! {TCP 50 ops/conn, TCP 500 ops/conn, TCP persistent, UDP} across
+//! {100, 500, 1000} clients, for the baseline proxy, the fd-cache fix, and
+//! the fd-cache + priority-queue fix.
+//!
+//! Run: `cargo bench -p siperf-bench --bench figures`
+//! (set `SIPERF_MEASURE_SECS=2` for a quick pass)
+
+use siperf_bench::{
+    measure_secs, paper_value, print_figure_header, print_figure_row, PaperRow, CLIENTS, FIGURE3,
+    FIGURE4, FIGURE5,
+};
+use siperf_workload::experiments::{figure_cell, FigureConfig, TransportWorkload};
+
+fn run_figure(fig: FigureConfig, reference: &[PaperRow; 4]) {
+    print_figure_header(fig.label());
+    let secs = measure_secs();
+    for &clients in &CLIENTS {
+        // UDP first: every ratio in the figure is relative to it.
+        let udp_report = figure_cell(fig, TransportWorkload::Udp, clients, secs, 7).run();
+        let udp = udp_report.throughput.per_sec();
+        let paper_udp = paper_value(reference, TransportWorkload::Udp, clients);
+        for wl in [
+            TransportWorkload::Tcp50,
+            TransportWorkload::Tcp500,
+            TransportWorkload::TcpPersistent,
+        ] {
+            let report = figure_cell(fig, wl, clients, secs, 7).run();
+            print_figure_row(
+                clients,
+                wl,
+                paper_value(reference, wl, clients),
+                paper_udp,
+                &report,
+                udp,
+            );
+        }
+        print_figure_row(
+            clients,
+            TransportWorkload::Udp,
+            paper_udp,
+            paper_udp,
+            &udp_report,
+            udp,
+        );
+    }
+}
+
+fn main() {
+    println!("SIPerf — regenerating the paper's Figures 3-5");
+    println!("(absolute numbers are simulator-calibrated; judge the shape)");
+    run_figure(FigureConfig::Baseline, &FIGURE3);
+    run_figure(FigureConfig::FdCache, &FIGURE4);
+    run_figure(FigureConfig::FdCachePlusPq, &FIGURE5);
+    println!();
+    println!("Headline (abstract): baseline TCP at 13-51% of UDP; fixed TCP at 50-78%.");
+}

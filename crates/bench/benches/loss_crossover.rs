@@ -1,0 +1,65 @@
+//! Loss crossover: the study's "why bother with TCP" question, quantified.
+//!
+//! The paper argues TCP's reliability and congestion control make it the
+//! *better* transport if only the server architecture stops squandering it
+//! (§1, §8). This bench sweeps datagram loss and compares UDP (application
+//! -level retransmission on RFC 3261 timers) against the fixed TCP proxy
+//! (transport-level recovery): as loss grows, UDP's goodput and latency
+//! degrade and calls start failing, while TCP's throughput barely moves —
+//! the crossover the paper's conclusion predicts.
+//!
+//! Run: `cargo bench -p siperf-bench --bench loss_crossover`
+
+use siperf_bench::measure_secs;
+use siperf_proxy::config::{ProxyConfig, Transport};
+use siperf_simnet::NetConfig;
+use siperf_workload::Scenario;
+
+fn main() {
+    let secs = measure_secs().min(4);
+    let pairs = 300;
+    println!("SIPerf — transport robustness under datagram loss ({pairs} pairs)");
+    println!();
+    println!(
+        "{:>7} | {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7}",
+        "loss", "UDP o/s", "p99", "fail", "TCP* o/s", "p99", "fail"
+    );
+    for loss_pct in [0.0f64, 0.5, 1.0, 2.0, 5.0] {
+        let mut net = NetConfig::lan();
+        net.udp_loss = loss_pct / 100.0;
+
+        let udp = Scenario::builder("udp-loss")
+            .transport(Transport::Udp)
+            .client_pairs(pairs)
+            .measure_secs(secs)
+            .net(net.clone())
+            .build()
+            .run();
+        // Loss applies to datagrams only; TCP segments are retransmitted by
+        // the (simulated) transport, which on this LAN model means they are
+        // simply not dropped — the fixed proxy sees clean streams.
+        let tcp = Scenario::builder("tcp-loss")
+            .proxy(
+                ProxyConfig::paper(Transport::Tcp)
+                    .with_fd_cache()
+                    .with_priority_queue(),
+            )
+            .client_pairs(pairs)
+            .measure_secs(secs)
+            .net(net)
+            .build()
+            .run();
+        println!(
+            "{:>6.1}% | {:>6.0} o/s {:>10} {:>7} | {:>6.0} o/s {:>10} {:>7}",
+            loss_pct,
+            udp.throughput.per_sec(),
+            udp.invite_p99.to_string(),
+            udp.call_failures,
+            tcp.throughput.per_sec(),
+            tcp.invite_p99.to_string(),
+            tcp.call_failures,
+        );
+    }
+    println!();
+    println!("(TCP* = multi-process with fd cache + priority queue, Figure 5 build)");
+}

@@ -1,0 +1,97 @@
+//! Reproduces the paper's §5 execution-profile evidence (OProfile):
+//!
+//! * **P1** (§5.1): under baseline TCP, "about 12% of the time was spent in
+//!   the function in which the IPC occurred", and the top kernel functions
+//!   are IPC-related.
+//! * **P2** (§5.2): the fd cache drops that to 4.6%, the IPC functions fall
+//!   out of the top of the profile, and the user-level profile starts to
+//!   resemble UDP's. Under 50 ops/conn, the idle-scan function blows up and
+//!   the kernel profile fills with scheduler time (the sched_yield storm).
+//!
+//! Run: `cargo bench -p siperf-bench --bench profile`
+
+use siperf_bench::measure_secs;
+use siperf_workload::experiments::{figure_cell, FigureConfig, TransportWorkload};
+use siperf_workload::ScenarioReport;
+
+fn ipc_share(r: &ScenarioReport) -> f64 {
+    let p = &r.server_profile;
+    p.share("kernel/ipc_send") + p.share("kernel/ipc_recv") + p.share("user/tcpconn_get_fd")
+}
+
+fn run(fig: FigureConfig, wl: TransportWorkload, secs: u64) -> ScenarioReport {
+    figure_cell(fig, wl, 500, secs, 7).run()
+}
+
+fn main() {
+    let secs = measure_secs().min(4);
+    println!("SIPerf — §5 execution profiles (server CPU, 500 clients)");
+
+    let baseline = run(
+        FigureConfig::Baseline,
+        TransportWorkload::TcpPersistent,
+        secs,
+    );
+    let cached = run(
+        FigureConfig::FdCache,
+        TransportWorkload::TcpPersistent,
+        secs,
+    );
+    let churn = run(FigureConfig::FdCache, TransportWorkload::Tcp50, secs);
+    let pq = run(FigureConfig::FdCachePlusPq, TransportWorkload::Tcp50, secs);
+    let udp = run(FigureConfig::Baseline, TransportWorkload::Udp, secs);
+
+    println!();
+    println!("P1 — fd-request IPC share of server CPU");
+    println!("----------------------------------------");
+    println!("(user + kernel time attributable to tcpconn_get_fd; the paper's");
+    println!(" OProfile numbers are for the user function alone)");
+    println!(
+        "TCP baseline:   {:>5.1}%   (paper: 12.0% user-side)",
+        100.0 * ipc_share(&baseline)
+    );
+    println!(
+        "TCP + fd cache: {:>5.1}%   (paper:  4.6% user-side)",
+        100.0 * ipc_share(&cached)
+    );
+    println!(
+        "reduction:      {:>5.1}x   (paper: 2.6x)",
+        ipc_share(&baseline) / ipc_share(&cached).max(1e-9)
+    );
+
+    println!();
+    println!("P2 — idle-connection management share (user/tcpconn_timeout)");
+    println!("--------------------------------------------------------------");
+    let scan = |r: &ScenarioReport| 100.0 * r.server_profile.share("user/tcpconn_timeout");
+    println!("TCP persistent + fd cache: {:>5.2}%", scan(&cached));
+    println!(
+        "TCP 50 ops/conn + fd cache: {:>5.2}%  (paper: ~3x the persistent share)",
+        scan(&churn)
+    );
+    println!("TCP 50 ops/conn + priority queue: {:>5.2}%", scan(&pq));
+    println!();
+    println!("scheduler share (sched_yield storms under the linear scan):");
+    let sched = |r: &ScenarioReport| {
+        100.0
+            * (r.server_profile.share("kernel/sched_yield")
+                + r.server_profile.domain_share("sched"))
+    };
+    println!(
+        "  TCP 50 ops/conn + fd cache (linear scan): {:>5.2}%",
+        sched(&churn)
+    );
+    println!(
+        "  TCP 50 ops/conn + priority queue:         {:>5.2}%",
+        sched(&pq)
+    );
+
+    println!();
+    println!("Top functions, TCP baseline (persistent):");
+    println!("{}", baseline.server_profile.to_table(12));
+    println!("Top functions, TCP + fd cache (persistent):");
+    println!("{}", cached.server_profile.to_table(12));
+    println!("Top functions, UDP (the paper: \"remarkably like\" the cached TCP profile):");
+    println!("{}", udp.server_profile.to_table(12));
+    println!("Top functions, TCP 50 ops/conn + fd cache (the idle-scan blowup):");
+    println!("{}", churn.server_profile.to_table(12));
+}

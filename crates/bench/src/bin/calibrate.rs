@@ -1,0 +1,49 @@
+//! Calibration probe: runs selected figure cells and prints measured
+//! throughput plus the ratios the paper's figures are judged by.
+//!
+//! Usage: `cargo run --release -p siperf-bench --bin calibrate [--quick]`
+
+use siperf_workload::experiments::{figure_cell, FigureConfig, TransportWorkload};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let explicit: Vec<usize> = std::env::args().filter_map(|a| a.parse().ok()).collect();
+    let (mut clients, secs) = if quick {
+        (vec![100], 3)
+    } else {
+        (vec![100, 500, 1000], 6)
+    };
+    if !explicit.is_empty() {
+        clients = explicit;
+    }
+
+    for fig in [
+        FigureConfig::Baseline,
+        FigureConfig::FdCache,
+        FigureConfig::FdCachePlusPq,
+    ] {
+        println!("== {} ==", fig.label());
+        for &n in &clients {
+            let mut udp = 0.0;
+            let mut rows = Vec::new();
+            for wl in TransportWorkload::ALL {
+                let report = figure_cell(fig, wl, n, secs, 7).run();
+                if wl == TransportWorkload::Udp {
+                    udp = report.throughput.per_sec();
+                }
+                rows.push((wl.label(), report));
+            }
+            for (label, r) in rows {
+                println!(
+                    "  {n:>5} clients  {label:<22} {:>9.0} ops/s  ({:>5.1}% of UDP)  fail={} conn_err={} util={:.0}% wall={:.1}s",
+                    r.throughput.per_sec(),
+                    100.0 * r.throughput.per_sec() / udp.max(1.0),
+                    r.call_failures,
+                    r.connect_errors,
+                    100.0 * r.server_utilization,
+                    r.wall_clock_secs,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Shared pieces for the benchmark harnesses: the paper's reference
+//! numbers and table formatting.
+//!
+//! The reference values are read off Figures 3–5 of the paper (bar labels);
+//! the assignment of the mid-range TCP bars in Figures 4 and 5 is
+//! approximate where the figure's bars are within noise of each other.
+
+#![warn(missing_docs)]
+
+use siperf_workload::experiments::TransportWorkload;
+use siperf_workload::ScenarioReport;
+
+/// The client counts of every figure's x-axis.
+pub const CLIENTS: [usize; 3] = [100, 500, 1000];
+
+/// Paper throughput (ops/s) for one workload across the three client
+/// counts.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// The workload this row describes.
+    pub workload: TransportWorkload,
+    /// ops/s at 100, 500, 1000 clients.
+    pub ops: [u64; 3],
+}
+
+/// Figure 3 (baseline OpenSER) reference values.
+pub const FIGURE3: [PaperRow; 4] = [
+    PaperRow {
+        workload: TransportWorkload::Tcp50,
+        ops: [4_651, 5_853, 7_472],
+    },
+    PaperRow {
+        workload: TransportWorkload::Tcp500,
+        ops: [6_794, 9_500, 12_359],
+    },
+    PaperRow {
+        workload: TransportWorkload::TcpPersistent,
+        ops: [14_635, 12_630, 9_791],
+    },
+    PaperRow {
+        workload: TransportWorkload::Udp,
+        ops: [28_395, 33_695, 33_350],
+    },
+];
+
+/// Figure 4 (file-descriptor cache) reference values.
+pub const FIGURE4: [PaperRow; 4] = [
+    PaperRow {
+        workload: TransportWorkload::Tcp50,
+        ops: [10_113, 11_703, 13_232],
+    },
+    PaperRow {
+        workload: TransportWorkload::Tcp500,
+        ops: [23_400, 23_032, 22_502],
+    },
+    PaperRow {
+        workload: TransportWorkload::TcpPersistent,
+        ops: [22_376, 23_696, 22_238],
+    },
+    PaperRow {
+        workload: TransportWorkload::Udp,
+        ops: [28_395, 33_695, 33_350],
+    },
+];
+
+/// Figure 5 (fd cache + priority queue) reference values.
+pub const FIGURE5: [PaperRow; 4] = [
+    PaperRow {
+        workload: TransportWorkload::Tcp50,
+        ops: [20_529, 18_986, 16_661],
+    },
+    PaperRow {
+        workload: TransportWorkload::Tcp500,
+        ops: [22_953, 22_082, 21_237],
+    },
+    PaperRow {
+        workload: TransportWorkload::TcpPersistent,
+        ops: [22_356, 22_574, 21_230],
+    },
+    PaperRow {
+        workload: TransportWorkload::Udp,
+        ops: [28_395, 33_695, 33_350],
+    },
+];
+
+/// Looks up the paper's value for one cell.
+pub fn paper_value(rows: &[PaperRow; 4], wl: TransportWorkload, clients: usize) -> u64 {
+    let col = CLIENTS
+        .iter()
+        .position(|&c| c == clients)
+        .expect("paper client counts are 100/500/1000");
+    rows.iter()
+        .find(|r| r.workload == wl)
+        .expect("all four workloads present")
+        .ops[col]
+}
+
+/// Measurement seconds for the harnesses, trimmable via
+/// `SIPERF_MEASURE_SECS` for quick passes.
+pub fn measure_secs() -> u64 {
+    std::env::var("SIPERF_MEASURE_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+/// Prints a figure table header.
+pub fn print_figure_header(title: &str) {
+    println!();
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+    println!(
+        "{:<8} {:<22} {:>12} {:>12} {:>9} {:>11} {:>11}",
+        "clients", "workload", "paper", "measured", "ratio", "paper %UDP", "ours %UDP"
+    );
+}
+
+/// Prints one figure row against the paper's value.
+pub fn print_figure_row(
+    clients: usize,
+    wl: TransportWorkload,
+    paper: u64,
+    paper_udp: u64,
+    measured: &ScenarioReport,
+    measured_udp: f64,
+) {
+    let ours = measured.throughput.per_sec();
+    println!(
+        "{:<8} {:<22} {:>9} o/s {:>9.0} o/s {:>8.2}x {:>10.0}% {:>10.0}%",
+        clients,
+        wl.label(),
+        paper,
+        ours,
+        ours / paper as f64,
+        100.0 * paper as f64 / paper_udp as f64,
+        100.0 * ours / measured_udp.max(1.0),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_match_the_figures_headlines() {
+        // Abstract: "TCP performance increases from 13-51% to 50-78% of the
+        // UDP performance" — the reference tables must reproduce that.
+        let mut baseline = Vec::new();
+        let mut fixed = Vec::new();
+        for (i, _) in CLIENTS.iter().enumerate() {
+            let udp = FIGURE3[3].ops[i] as f64;
+            for row in &FIGURE3[..3] {
+                baseline.push(row.ops[i] as f64 / udp);
+            }
+            for row in &FIGURE5[..3] {
+                fixed.push(row.ops[i] as f64 / udp);
+            }
+        }
+        let (bmin, bmax) = (
+            baseline.iter().cloned().fold(f64::MAX, f64::min),
+            baseline.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!((0.12..=0.17).contains(&bmin), "baseline min {bmin}");
+        assert!((0.40..=0.55).contains(&bmax), "baseline max {bmax}");
+        let (fmin, fmax) = (
+            fixed.iter().cloned().fold(f64::MAX, f64::min),
+            fixed.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!((0.45..=0.55).contains(&fmin), "fixed min {fmin}");
+        assert!((0.70..=0.85).contains(&fmax), "fixed max {fmax}");
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert_eq!(paper_value(&FIGURE3, TransportWorkload::Udp, 500), 33_695);
+        assert_eq!(paper_value(&FIGURE4, TransportWorkload::Tcp50, 100), 10_113);
+    }
+}

@@ -1,0 +1,797 @@
+//! The proxy's shared application state and routing engine.
+//!
+//! [`ProxyCore`] is what lives in OpenSER's shared memory: the location
+//! service (usrloc), the transaction table, and the statistics. It is pure
+//! logic — no syscalls, no clocks of its own — so it can be unit-tested
+//! exhaustively; the worker processes charge the simulated CPU and take the
+//! simulated locks around each call into it, in exactly the order OpenSER
+//! does (§3).
+
+use std::collections::HashMap;
+
+use siperf_simcore::time::{SimDuration, SimTime};
+use siperf_simnet::addr::SockAddr;
+use siperf_simnet::endpoint::{bytes_from, Bytes};
+use siperf_sip::gen;
+use siperf_sip::msg::{Method, SipMessage, StatusCode, Via};
+use siperf_sip::txn::{RetransClock, TimerVerdict, TxnKey};
+
+use crate::config::Transport;
+use crate::util::parse_sim_addr;
+
+/// One location-service binding. For connection-oriented transports the
+/// proxy prefers the connection the phone registered over (OpenSER's
+/// `tcp_alias` behaviour — this is what puts *two workers* in every
+/// transaction, §3.1); the contact address is the connect-to fallback once
+/// that connection is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// Source address of the REGISTER: the phone's live connection.
+    pub conn_hint: SockAddr,
+    /// The Contact header's address: where the phone listens.
+    pub contact: SockAddr,
+}
+
+/// Counters a run reports; mirrors `openserctl fifo get_statistics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProxyStats {
+    /// Requests parsed and handled.
+    pub requests: u64,
+    /// Responses parsed and handled.
+    pub responses: u64,
+    /// Messages forwarded downstream/upstream.
+    pub forwards: u64,
+    /// Replies generated locally (Trying, 200 to REGISTER, errors).
+    pub local_replies: u64,
+    /// Successful registrations.
+    pub registered: u64,
+    /// Request retransmissions absorbed by transaction state.
+    pub absorbed_retrans: u64,
+    /// Requests retransmitted by the timer process.
+    pub retransmits_sent: u64,
+    /// Messages that failed to parse.
+    pub parse_errors: u64,
+    /// Requests dropped (unroutable, hop limit, unknown transaction).
+    pub route_failures: u64,
+    /// Transactions created.
+    pub txns_created: u64,
+    /// Transactions that timed out (Timer B/F).
+    pub txn_timeouts: u64,
+    /// Transactions reaped after completion.
+    pub txns_reaped: u64,
+    /// fd requests sent to the supervisor (TCP multi-process only).
+    pub fd_requests: u64,
+    /// fd-cache hits (TCP with the §5.2 fix).
+    pub fd_cache_hits: u64,
+    /// Connections assigned to workers by the supervisor.
+    pub conns_assigned: u64,
+    /// Connections returned to the supervisor by idle workers.
+    pub conns_returned: u64,
+    /// Connection objects destroyed by the supervisor.
+    pub conns_destroyed: u64,
+    /// Outbound connections the proxy opened towards phones.
+    pub outbound_connects: u64,
+    /// Connection-object entries examined while hunting idle connections.
+    pub idle_scan_entries: u64,
+    /// CANCELs relayed hop-by-hop (RFC 3261 §9.2).
+    pub cancels_relayed: u64,
+    /// Responses to our relayed CANCELs, consumed locally.
+    pub cancel_responses_absorbed: u64,
+    /// Send failures (dead connections, refused connects).
+    pub send_errors: u64,
+}
+
+/// One message to put on the wire.
+#[derive(Debug, Clone)]
+pub struct Outgoing {
+    /// Serialized message.
+    pub bytes: Bytes,
+    /// Primary destination (an existing connection's peer, or a datagram
+    /// target).
+    pub dest: SockAddr,
+    /// Fallback destination to *connect to* when no connection to `dest`
+    /// exists (RFC 3261 §18.2.2: the Via sent-by), used by TCP workers.
+    pub alt: Option<SockAddr>,
+}
+
+/// The routing engine's verdict on one inbound message.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Messages to send, in order.
+    pub out: Vec<Outgoing>,
+    /// The message was a retransmission absorbed by transaction state.
+    pub absorbed: bool,
+    /// A new transaction (and its retransmission clock) was created.
+    pub txn_created: bool,
+    /// The message updated the location service.
+    pub registered: bool,
+}
+
+/// What the timer process must do after one pass.
+#[derive(Debug, Clone, Default)]
+pub struct TimerPass {
+    /// Stored requests to retransmit.
+    pub retransmits: Vec<Outgoing>,
+    /// 408 responses for transactions that timed out.
+    pub timeouts: Vec<Outgoing>,
+    /// Timer entries examined (for cost accounting).
+    pub examined: u64,
+    /// Transactions reaped.
+    pub reaped: u64,
+}
+
+#[derive(Debug)]
+struct ProxyTxn {
+    upstream_key: TxnKey,
+    downstream_key: TxnKey,
+    caller_src: SockAddr,
+    caller_via: Option<SockAddr>,
+    callee_dst: SockAddr,
+    fwd_bytes: Bytes,
+    timeout_response: Bytes,
+    last_response: Option<Bytes>,
+    clock: RetransClock,
+    completed: bool,
+    reap_at: Option<SimTime>,
+}
+
+/// Shared proxy state: location service, transaction table, stats.
+#[derive(Debug)]
+pub struct ProxyCore {
+    /// Our Via sent-by string (`hN:5060`).
+    pub via_sent_by: String,
+    /// Transport in use (selects Via token and retransmission policy).
+    pub transport: Transport,
+    /// Stateful (§2) or stateless operation.
+    pub stateful: bool,
+    /// How long completed transactions linger before reaping.
+    pub txn_linger: SimDuration,
+    registrar: HashMap<String, Binding>,
+    txn_index: HashMap<TxnKey, u64>,
+    txns: HashMap<u64, ProxyTxn>,
+    next_txn: u64,
+    next_branch: u64,
+    /// Run statistics.
+    pub stats: ProxyStats,
+}
+
+impl ProxyCore {
+    /// Creates an empty core for a proxy reachable at `via_sent_by`.
+    pub fn new(via_sent_by: String, transport: Transport, stateful: bool) -> Self {
+        ProxyCore {
+            via_sent_by,
+            transport,
+            stateful,
+            txn_linger: SimDuration::from_secs(5),
+            registrar: HashMap::new(),
+            txn_index: HashMap::new(),
+            txns: HashMap::new(),
+            next_txn: 1,
+            next_branch: 1,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Number of registered bindings.
+    pub fn bindings(&self) -> usize {
+        self.registrar.len()
+    }
+
+    /// Number of live transactions.
+    pub fn live_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Looks up a user's registered contact address.
+    pub fn contact_of(&self, user: &str) -> Option<SockAddr> {
+        self.registrar.get(user).map(|b| b.contact)
+    }
+
+    /// Looks up a user's full binding.
+    pub fn binding_of(&self, user: &str) -> Option<Binding> {
+        self.registrar.get(user).copied()
+    }
+
+    fn fresh_branch(&mut self) -> String {
+        let n = self.next_branch;
+        self.next_branch += 1;
+        format!("{}px{}", gen::BRANCH_COOKIE, n)
+    }
+
+    fn reply(&mut self, code: StatusCode, req: &SipMessage, dest: SockAddr) -> Outgoing {
+        self.stats.local_replies += 1;
+        let resp = gen::response(code, req, None, None);
+        Outgoing {
+            bytes: bytes_from(resp.to_bytes()),
+            dest,
+            alt: None,
+        }
+    }
+
+    /// Routes one parsed message. The caller must hold the transaction
+    /// lock, per OpenSER's discipline.
+    pub fn handle_message(&mut self, now: SimTime, msg: SipMessage, src: SockAddr) -> Plan {
+        if msg.is_request() {
+            self.handle_request(now, msg, src)
+        } else {
+            self.handle_response(now, msg)
+        }
+    }
+
+    fn handle_request(&mut self, now: SimTime, msg: SipMessage, src: SockAddr) -> Plan {
+        self.stats.requests += 1;
+        let mut plan = Plan::default();
+        let method = msg.method().expect("checked is_request");
+
+        if method == Method::Register {
+            let contact = msg
+                .contact
+                .as_ref()
+                .and_then(|c| parse_sim_addr(&c.host))
+                .unwrap_or(src);
+            let binding = Binding {
+                conn_hint: src,
+                contact,
+            };
+            let user = msg.to.uri.user.clone();
+            if msg.expires == Some(0) {
+                self.registrar.remove(&user);
+            } else {
+                self.registrar.insert(user, binding);
+            }
+            self.stats.registered += 1;
+            plan.registered = true;
+            plan.out.push(self.reply(StatusCode::OK, &msg, src));
+            return plan;
+        }
+
+        // CANCEL is hop-by-hop (RFC 3261 §9.2): answer it 200 locally and
+        // relay a CANCEL for the forwarded INVITE, reusing its downstream
+        // branch so the callee can match the transaction.
+        if method == Method::Cancel {
+            let key = TxnKey {
+                branch: msg.branch().unwrap_or_default().to_string(),
+                method: Method::Invite,
+            };
+            let Some(&id) = self.txn_index.get(&key) else {
+                plan.out
+                    .push(self.reply(StatusCode::NO_TRANSACTION, &msg, src));
+                self.stats.route_failures += 1;
+                return plan;
+            };
+            let (dst, downstream_branch) = {
+                let txn = self.txns.get(&id).expect("index is consistent");
+                (txn.callee_dst, txn.downstream_key.branch.clone())
+            };
+            plan.out.push(self.reply(StatusCode::OK, &msg, src));
+            let mut fwd = msg.clone();
+            fwd.vias.insert(
+                0,
+                Via::new(
+                    self.transport.token(),
+                    self.via_sent_by.clone(),
+                    downstream_branch,
+                ),
+            );
+            fwd.max_forwards -= 1;
+            self.stats.cancels_relayed += 1;
+            self.stats.forwards += 1;
+            plan.out.push(Outgoing {
+                bytes: bytes_from(fwd.to_bytes()),
+                dest: dst,
+                alt: Some(dst),
+            });
+            return plan;
+        }
+
+        // Retransmission? (Stateful proxies absorb them, §2.)
+        if self.stateful && method != Method::Ack {
+            if let Some(key) = TxnKey::of(&msg) {
+                if let Some(&id) = self.txn_index.get(&key) {
+                    plan.absorbed = true;
+                    self.stats.absorbed_retrans += 1;
+                    if let Some(txn) = self.txns.get(&id) {
+                        if let Some(last) = &txn.last_response {
+                            plan.out.push(Outgoing {
+                                bytes: last.clone(),
+                                dest: txn.caller_src,
+                                alt: txn.caller_via,
+                            });
+                        }
+                    }
+                    return plan;
+                }
+            }
+        }
+
+        if msg.max_forwards == 0 {
+            self.stats.route_failures += 1;
+            plan.out
+                .push(self.reply(StatusCode::SERVER_ERROR, &msg, src));
+            return plan;
+        }
+
+        // Location-service lookup (the caller holds usrloc's lock around
+        // this in the worker code).
+        let Some(binding) = self.registrar.get(&msg.to.uri.user).copied() else {
+            self.stats.route_failures += 1;
+            plan.out.push(self.reply(StatusCode::NOT_FOUND, &msg, src));
+            return plan;
+        };
+        let dst = binding.conn_hint;
+
+        // Build the forwarded request: push our Via, spend a hop.
+        let branch = self.fresh_branch();
+        let mut fwd = msg.clone();
+        fwd.vias.insert(
+            0,
+            Via::new(
+                self.transport.token(),
+                self.via_sent_by.clone(),
+                branch.clone(),
+            ),
+        );
+        fwd.max_forwards -= 1;
+        let fwd_bytes = bytes_from(fwd.to_bytes());
+        let caller_via = msg.vias.first().and_then(|v| parse_sim_addr(&v.sent_by));
+
+        if self.stateful && method != Method::Ack {
+            // A stateful proxy takes responsibility: 100 Trying for INVITE,
+            // a stored copy plus a retransmission clock for the forward.
+            if method == Method::Invite {
+                plan.out.push(self.reply(StatusCode::TRYING, &msg, src));
+            }
+            let id = self.next_txn;
+            self.next_txn += 1;
+            let upstream_key = TxnKey::of(&msg).expect("requests carry a Via");
+            let downstream_key = TxnKey { branch, method };
+            let clock = if self.transport.is_reliable() {
+                RetransClock::reliable(now)
+            } else {
+                RetransClock::new(now, method)
+            };
+            let timeout_response =
+                bytes_from(gen::response(StatusCode::REQUEST_TIMEOUT, &msg, None, None).to_bytes());
+            self.txn_index.insert(upstream_key.clone(), id);
+            self.txn_index.insert(downstream_key.clone(), id);
+            self.txns.insert(
+                id,
+                ProxyTxn {
+                    upstream_key,
+                    downstream_key,
+                    caller_src: src,
+                    caller_via,
+                    callee_dst: dst,
+
+                    fwd_bytes: fwd_bytes.clone(),
+                    timeout_response,
+                    last_response: None,
+                    clock,
+                    completed: false,
+                    reap_at: None,
+                },
+            );
+            self.stats.txns_created += 1;
+            plan.txn_created = true;
+        }
+
+        self.stats.forwards += 1;
+        plan.out.push(Outgoing {
+            bytes: fwd_bytes,
+            dest: dst,
+            alt: Some(binding.contact),
+        });
+        plan
+    }
+
+    fn handle_response(&mut self, now: SimTime, mut msg: SipMessage) -> Plan {
+        self.stats.responses += 1;
+        let mut plan = Plan::default();
+
+        // Our Via must be on top; pop it.
+        let ours = msg
+            .vias
+            .first()
+            .is_some_and(|v| v.sent_by == self.via_sent_by);
+        if !ours {
+            self.stats.route_failures += 1;
+            return plan;
+        }
+        let our_via = msg.vias.remove(0);
+        let code = msg.status().expect("checked response");
+
+        if !self.stateful {
+            // Stateless: relay towards the next Via.
+            let Some(dest) = msg.vias.first().and_then(|v| parse_sim_addr(&v.sent_by)) else {
+                self.stats.route_failures += 1;
+                return plan;
+            };
+            self.stats.forwards += 1;
+            plan.out.push(Outgoing {
+                bytes: bytes_from(msg.to_bytes()),
+                dest,
+                alt: Some(dest),
+            });
+            return plan;
+        }
+
+        let key = TxnKey {
+            branch: our_via.branch,
+            method: msg.cseq_method,
+        };
+        let Some(&id) = self.txn_index.get(&key) else {
+            if msg.cseq_method == Method::Cancel {
+                // The callee's 200 to our relayed CANCEL; we already
+                // answered the caller ourselves.
+                self.stats.cancel_responses_absorbed += 1;
+            } else {
+                // Late response for a reaped transaction: drop, like
+                // OpenSER.
+                self.stats.route_failures += 1;
+            }
+            return plan;
+        };
+        let bytes = bytes_from(msg.to_bytes());
+        let txn = self.txns.get_mut(&id).expect("index is consistent");
+        txn.last_response = Some(bytes.clone());
+        if code.is_provisional() {
+            // Provisional response: stop request retransmissions (Timer A),
+            // keep the transaction alive.
+            txn.clock.stop();
+        } else {
+            txn.clock.stop();
+            txn.completed = true;
+            txn.reap_at = Some(now + self.txn_linger);
+        }
+        self.stats.forwards += 1;
+        plan.out.push(Outgoing {
+            bytes,
+            dest: txn.caller_src,
+            alt: txn.caller_via,
+        });
+        plan
+    }
+
+    /// One pass of the timer process: retransmit, time out, and reap. The
+    /// caller holds the timer and transaction locks.
+    pub fn timer_pass(&mut self, now: SimTime) -> TimerPass {
+        let mut pass = TimerPass::default();
+        let mut reap = Vec::new();
+        let mut timeout = Vec::new();
+        for (&id, txn) in self.txns.iter_mut() {
+            pass.examined += 1;
+            if let Some(at) = txn.reap_at {
+                if at <= now {
+                    reap.push(id);
+                }
+                continue;
+            }
+            match txn.clock.check(now) {
+                TimerVerdict::Retransmit { .. } => {
+                    pass.retransmits.push(Outgoing {
+                        bytes: txn.fwd_bytes.clone(),
+                        dest: txn.callee_dst,
+                        alt: Some(txn.callee_dst),
+                    });
+                }
+                TimerVerdict::TimedOut => {
+                    pass.timeouts.push(Outgoing {
+                        bytes: txn.timeout_response.clone(),
+                        dest: txn.caller_src,
+                        alt: txn.caller_via,
+                    });
+                    timeout.push(id);
+                }
+                TimerVerdict::Wait { .. } | TimerVerdict::Done => {}
+            }
+        }
+        for id in timeout {
+            let txn = self.txns.get_mut(&id).expect("looked up above");
+            txn.completed = true;
+            txn.clock.stop();
+            txn.reap_at = Some(now + self.txn_linger);
+            self.stats.txn_timeouts += 1;
+        }
+        for id in reap {
+            if let Some(txn) = self.txns.remove(&id) {
+                self.txn_index.remove(&txn.upstream_key);
+                self.txn_index.remove(&txn.downstream_key);
+                self.stats.txns_reaped += 1;
+                pass.reaped += 1;
+            }
+        }
+        self.stats.retransmits_sent += pass.retransmits.len() as u64;
+        pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siperf_simnet::addr::HostId;
+    use siperf_sip::gen::CallParty;
+    use siperf_sip::parse::parse_message;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn core(transport: Transport, stateful: bool) -> ProxyCore {
+        ProxyCore::new("h0:5060".into(), transport, stateful)
+    }
+
+    fn alice() -> CallParty {
+        CallParty::new("alice", "h1:20001")
+    }
+
+    fn bob() -> CallParty {
+        CallParty::new("bob", "h2:20002")
+    }
+
+    fn a_src() -> SockAddr {
+        SockAddr::new(HostId(1), 33000)
+    }
+
+    fn b_src() -> SockAddr {
+        SockAddr::new(HostId(2), 33001)
+    }
+
+    fn registered_core(transport: Transport, stateful: bool) -> ProxyCore {
+        let mut c = core(transport, stateful);
+        for (party, src) in [(alice(), a_src()), (bob(), b_src())] {
+            let reg = gen::register(&party, "sip.lab", 1, "z9hG4bKreg", transport.token());
+            let plan = c.handle_message(t(0), reg, src);
+            assert!(plan.registered);
+        }
+        c
+    }
+
+    #[test]
+    fn register_binds_contact_address() {
+        let c = registered_core(Transport::Udp, true);
+        assert_eq!(c.bindings(), 2);
+        assert_eq!(
+            c.contact_of("bob"),
+            Some(SockAddr::new(HostId(2), 20002)),
+            "binding comes from the Contact header"
+        );
+        assert_eq!(c.stats.registered, 2);
+    }
+
+    #[test]
+    fn register_with_expires_zero_unbinds() {
+        let mut c = registered_core(Transport::Udp, true);
+        let mut reg = gen::register(&bob(), "sip.lab", 2, "z9hG4bKreg2", "UDP");
+        reg.expires = Some(0);
+        c.handle_message(t(1), reg, b_src());
+        assert_eq!(c.contact_of("bob"), None);
+        assert_eq!(c.bindings(), 1);
+    }
+
+    #[test]
+    fn stateful_invite_sends_trying_and_forwards() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let plan = c.handle_message(t(10), inv, a_src());
+        assert!(plan.txn_created);
+        assert_eq!(plan.out.len(), 2);
+        // First the 100 Trying back to the caller…
+        let trying = parse_message(&plan.out[0].bytes).unwrap();
+        assert_eq!(trying.status(), Some(StatusCode::TRYING));
+        assert_eq!(plan.out[0].dest, a_src());
+        // …then the forward to bob's registered contact, with our Via on
+        // top and the hop budget spent.
+        let fwd = parse_message(&plan.out[1].bytes).unwrap();
+        assert_eq!(fwd.method(), Some(Method::Invite));
+        assert_eq!(fwd.vias.len(), 2);
+        assert_eq!(fwd.vias[0].sent_by, "h0:5060");
+        assert_eq!(fwd.max_forwards, 69);
+        // Forwards prefer the connection the callee registered over (its
+        // source address); the Contact address is the connect fallback.
+        assert_eq!(plan.out[1].dest, b_src());
+        assert_eq!(plan.out[1].alt, Some(SockAddr::new(HostId(2), 20002)));
+        assert_eq!(c.live_txns(), 1);
+    }
+
+    #[test]
+    fn stateless_invite_skips_trying_and_state() {
+        let mut c = registered_core(Transport::Udp, false);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let plan = c.handle_message(t(10), inv, a_src());
+        assert!(!plan.txn_created);
+        assert_eq!(plan.out.len(), 1, "no 100 Trying from a stateless proxy");
+        assert_eq!(c.live_txns(), 0);
+    }
+
+    #[test]
+    fn response_pops_via_and_returns_to_caller() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let plan = c.handle_message(t(10), inv, a_src());
+        let fwd = parse_message(&plan.out[1].bytes).unwrap();
+
+        // Bob's phone answers with 180 then 200.
+        let ringing = gen::response(StatusCode::RINGING, &fwd, Some("bt"), None);
+        let plan = c.handle_message(t(11), ringing, b_src());
+        assert_eq!(plan.out.len(), 1);
+        let up = parse_message(&plan.out[0].bytes).unwrap();
+        assert_eq!(up.status(), Some(StatusCode::RINGING));
+        assert_eq!(up.vias.len(), 1, "proxy via popped");
+        assert_eq!(up.vias[0].branch, "z9hG4bKa1");
+        assert_eq!(plan.out[0].dest, a_src());
+
+        let ok = gen::response(StatusCode::OK, &fwd, Some("bt"), None);
+        let plan = c.handle_message(t(12), ok, b_src());
+        assert_eq!(plan.out.len(), 1);
+        assert_eq!(c.live_txns(), 1, "completed txn lingers until reaped");
+    }
+
+    #[test]
+    fn invite_retransmission_is_absorbed_with_last_response() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let plan1 = c.handle_message(t(10), inv.clone(), a_src());
+        let fwd = parse_message(&plan1.out[1].bytes).unwrap();
+        let ringing = gen::response(StatusCode::RINGING, &fwd, Some("bt"), None);
+        c.handle_message(t(11), ringing, b_src());
+
+        // The same INVITE again: absorbed, last response (180) resent.
+        let plan2 = c.handle_message(t(12), inv, a_src());
+        assert!(plan2.absorbed);
+        assert_eq!(plan2.out.len(), 1);
+        let resent = parse_message(&plan2.out[0].bytes).unwrap();
+        assert_eq!(resent.status(), Some(StatusCode::RINGING));
+        assert_eq!(c.stats.absorbed_retrans, 1);
+        assert_eq!(c.stats.txns_created, 1, "no duplicate transaction");
+    }
+
+    #[test]
+    fn ack_is_forwarded_statelessly() {
+        let mut c = registered_core(Transport::Udp, true);
+        let ack = gen::ack(&alice(), &bob(), "sip.lab", "c1", "bt", "z9hG4bKack", "UDP");
+        let before = c.live_txns();
+        let plan = c.handle_message(t(20), ack, a_src());
+        assert_eq!(plan.out.len(), 1);
+        assert!(!plan.txn_created);
+        assert_eq!(c.live_txns(), before);
+        let fwd = parse_message(&plan.out[0].bytes).unwrap();
+        assert_eq!(fwd.method(), Some(Method::Ack));
+        assert_eq!(fwd.vias.len(), 2);
+    }
+
+    #[test]
+    fn unregistered_callee_gets_404() {
+        let mut c = core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let plan = c.handle_message(t(10), inv, a_src());
+        assert_eq!(plan.out.len(), 1);
+        let resp = parse_message(&plan.out[0].bytes).unwrap();
+        assert_eq!(resp.status(), Some(StatusCode::NOT_FOUND));
+        assert_eq!(c.stats.route_failures, 1);
+    }
+
+    #[test]
+    fn hop_limit_exhaustion_is_rejected() {
+        let mut c = registered_core(Transport::Udp, true);
+        let mut inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        inv.max_forwards = 0;
+        let plan = c.handle_message(t(10), inv, a_src());
+        assert_eq!(plan.out.len(), 1);
+        let resp = parse_message(&plan.out[0].bytes).unwrap();
+        assert_eq!(resp.status(), Some(StatusCode::SERVER_ERROR));
+    }
+
+    #[test]
+    fn udp_transactions_retransmit_until_response() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        c.handle_message(t(0), inv, a_src());
+        // T1 later: one retransmission of the stored forward.
+        let pass = c.timer_pass(t(500));
+        assert_eq!(pass.retransmits.len(), 1);
+        assert_eq!(pass.retransmits[0].dest, b_src());
+        // Doubling: nothing due yet at 600 ms.
+        let pass = c.timer_pass(t(600));
+        assert!(pass.retransmits.is_empty());
+        let pass = c.timer_pass(t(1500));
+        assert_eq!(pass.retransmits.len(), 1);
+        assert_eq!(c.stats.retransmits_sent, 2);
+    }
+
+    #[test]
+    fn tcp_transactions_never_retransmit() {
+        let mut c = registered_core(Transport::Tcp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "TCP");
+        c.handle_message(t(0), inv, a_src());
+        let pass = c.timer_pass(t(5_000));
+        assert!(pass.retransmits.is_empty(), "TCP retransmits for us");
+    }
+
+    #[test]
+    fn transaction_timeout_produces_408_and_reap() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        c.handle_message(t(0), inv, a_src());
+        let pass = c.timer_pass(t(32_000));
+        assert_eq!(pass.timeouts.len(), 1);
+        let resp = parse_message(&pass.timeouts[0].bytes).unwrap();
+        assert_eq!(resp.status(), Some(StatusCode::REQUEST_TIMEOUT));
+        assert_eq!(pass.timeouts[0].dest, a_src());
+        assert_eq!(c.stats.txn_timeouts, 1);
+        // After the linger, the transaction is reaped.
+        let pass = c.timer_pass(t(40_000));
+        assert_eq!(pass.reaped, 1);
+        assert_eq!(c.live_txns(), 0);
+    }
+
+    #[test]
+    fn completed_transactions_reap_after_linger() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let plan = c.handle_message(t(0), inv, a_src());
+        let fwd = parse_message(&plan.out[1].bytes).unwrap();
+        let ok = gen::response(StatusCode::OK, &fwd, Some("bt"), None);
+        c.handle_message(t(100), ok, b_src());
+        assert_eq!(c.live_txns(), 1);
+        let pass = c.timer_pass(t(6_000));
+        assert_eq!(pass.reaped, 1);
+        assert_eq!(c.live_txns(), 0);
+        // A straggler response for the reaped transaction is dropped.
+        let late = gen::response(StatusCode::OK, &fwd, Some("bt"), None);
+        let plan = c.handle_message(t(7_000), late, b_src());
+        assert!(plan.out.is_empty());
+    }
+
+    #[test]
+    fn response_without_our_via_is_dropped() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let ok = gen::response(StatusCode::OK, &inv, Some("bt"), None);
+        let plan = c.handle_message(t(0), ok, b_src());
+        assert!(plan.out.is_empty());
+        assert_eq!(c.stats.route_failures, 1);
+    }
+
+    #[test]
+    fn full_call_flow_counts_check_out() {
+        let mut c = registered_core(Transport::Udp, true);
+        let (al, bo) = (alice(), bob());
+
+        // INVITE transaction.
+        let inv = gen::invite(&al, &bo, "sip.lab", "c9", "z9hG4bKi", "UDP");
+        let p = c.handle_message(t(0), inv, a_src());
+        let fwd_inv = parse_message(&p.out[1].bytes).unwrap();
+        c.handle_message(
+            t(1),
+            gen::response(StatusCode::RINGING, &fwd_inv, Some("bt"), None),
+            b_src(),
+        );
+        c.handle_message(
+            t(2),
+            gen::response(StatusCode::OK, &fwd_inv, Some("bt"), None),
+            b_src(),
+        );
+        c.handle_message(
+            t(3),
+            gen::ack(&al, &bo, "sip.lab", "c9", "bt", "z9hG4bKk", "UDP"),
+            a_src(),
+        );
+
+        // BYE transaction.
+        let bye = gen::bye(&al, &bo, "sip.lab", "c9", "bt", "z9hG4bKb", "UDP");
+        let p = c.handle_message(t(4), bye, a_src());
+        let fwd_bye = parse_message(&p.out.last().unwrap().bytes).unwrap();
+        assert_eq!(fwd_bye.method(), Some(Method::Bye));
+        assert_eq!(p.out.len(), 1, "no Trying for BYE");
+        c.handle_message(
+            t(5),
+            gen::response(StatusCode::OK, &fwd_bye, None, None),
+            b_src(),
+        );
+
+        assert_eq!(c.stats.txns_created, 2);
+        // Forwards: INVITE, RINGING, OK, ACK, BYE, OK = 6.
+        assert_eq!(c.stats.forwards, 6);
+        assert_eq!(c.stats.absorbed_retrans, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Shared plumbing for the proxy's worker processes.
+//!
+//! ## Modeling note: decisions vs. timing
+//!
+//! The simulator is single-threaded, so shared-state mutation is inherently
+//! atomic; what the simulated locks provide is **timing** — hold times,
+//! contention, and the spin/`sched_yield` storms the paper profiles. Worker
+//! code therefore computes each routing decision when a message is parsed
+//! and then *plays out* the exact syscall sequence OpenSER would execute
+//! (lock, compute, unlock, send, …) as a script. The CPU charged, the locks
+//! taken, and their ordering match §3's description; only the Rust-side
+//! mutation happens a few virtual microseconds earlier than the lock
+//! window it is charged under.
+
+use std::collections::VecDeque;
+
+use siperf_simos::lock::LockId;
+use siperf_simos::syscall::Syscall;
+
+use crate::config::{AppCostModel, Transport};
+use crate::core::Plan;
+
+/// The proxy's shared-memory locks, created once at spawn time.
+#[derive(Debug, Clone, Copy)]
+pub struct Locks {
+    /// Guards the transaction table.
+    pub txn: LockId,
+    /// Guards the location service (usrloc).
+    pub usrloc: LockId,
+    /// Guards the global timer list (essential for UDP, §3.2).
+    pub timer: LockId,
+    /// Guards the TCP connection hash table / priority queue (§3.1).
+    pub conn: LockId,
+}
+
+/// Profile tags for the proxy's user-level functions, named after their
+/// OpenSER counterparts so the §5 profile tables read like the paper's.
+pub mod tags {
+    /// Message reception and parsing.
+    pub const PARSE: &str = "user/receive_msg";
+    /// Transaction matching/creation and forwarding decisions.
+    pub const ROUTE: &str = "user/t_relay";
+    /// Location-service lookup.
+    pub const USRLOC: &str = "user/usrloc_lookup";
+    /// Building and serializing an outgoing message.
+    pub const BUILD: &str = "user/build_msg";
+    /// Inserting a retransmission timer.
+    pub const TIMER_INSERT: &str = "user/timer_insert";
+    /// The timer process's scan.
+    pub const TIMER_SCAN: &str = "user/timer_scan";
+    /// The function in which fd-request IPC occurs — the paper's 12% → 4.6%
+    /// headline profile entry.
+    pub const GET_FD: &str = "user/tcpconn_get_fd";
+    /// Connection hash table operations.
+    pub const CONN_HASH: &str = "user/tcpconn_hash";
+    /// Hunting idle connections (linear scan or priority queue).
+    pub const IDLE: &str = "user/tcpconn_timeout";
+    /// Per-worker fd-cache probes.
+    pub const FD_CACHE: &str = "user/fd_cache_lookup";
+}
+
+/// Builds the lock/compute script that charges a routed message's
+/// transaction-table and location-service work, shared by every transport.
+///
+/// The per-message sends are transport-specific and appended by the caller.
+pub fn routing_script(
+    script: &mut VecDeque<Syscall>,
+    costs: &AppCostModel,
+    locks: &Locks,
+    transport: Transport,
+    parse_ns: u64,
+    was_request: bool,
+    plan: &Plan,
+) {
+    script.push_back(Syscall::Compute {
+        ns: parse_ns,
+        tag: tags::PARSE,
+    });
+    script.push_back(Syscall::LockAcquire { lock: locks.txn });
+    script.push_back(Syscall::Compute {
+        ns: if was_request {
+            costs.route_request
+        } else {
+            costs.route_response
+        },
+        tag: tags::ROUTE,
+    });
+    script.push_back(Syscall::LockRelease { lock: locks.txn });
+    if was_request && !plan.absorbed {
+        script.push_back(Syscall::LockAcquire { lock: locks.usrloc });
+        script.push_back(Syscall::Compute {
+            ns: costs.usrloc_lookup,
+            tag: tags::USRLOC,
+        });
+        script.push_back(Syscall::LockRelease { lock: locks.usrloc });
+    }
+    // Building each outgoing message is charged here; putting it on the
+    // wire is transport-specific.
+    for _ in &plan.out {
+        script.push_back(Syscall::Compute {
+            ns: costs.build_message,
+            tag: tags::BUILD,
+        });
+    }
+    if plan.txn_created && !transport.is_reliable() {
+        // UDP: arm the retransmission timer on the shared list (§3.2).
+        script.push_back(Syscall::LockAcquire { lock: locks.timer });
+        script.push_back(Syscall::Compute {
+            ns: costs.timer_insert,
+            tag: tags::TIMER_INSERT,
+        });
+        script.push_back(Syscall::LockRelease { lock: locks.timer });
+    }
+}
+
+/// Encodes a socket address into an IPC message word.
+pub fn encode_addr(addr: siperf_simnet::SockAddr) -> u64 {
+    ((addr.host.0 as u64) << 16) | addr.port as u64
+}
+
+/// Decodes a socket address from an IPC message word.
+pub fn decode_addr(word: u64) -> siperf_simnet::SockAddr {
+    siperf_simnet::SockAddr::new(
+        siperf_simnet::HostId((word >> 16) as u32),
+        (word & 0xffff) as u16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siperf_simnet::{HostId, SockAddr};
+
+    #[test]
+    fn addr_encoding_roundtrips() {
+        for addr in [
+            SockAddr::new(HostId(0), 5060),
+            SockAddr::new(HostId(3), 65535),
+            SockAddr::new(HostId(1_000_000), 1),
+        ] {
+            assert_eq!(decode_addr(encode_addr(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn routing_script_shape_udp_request() {
+        let costs = AppCostModel::opteron_2006();
+        let locks = Locks {
+            txn: LockId(0),
+            usrloc: LockId(1),
+            timer: LockId(2),
+            conn: LockId(3),
+        };
+        let plan = Plan {
+            out: vec![],
+            absorbed: false,
+            txn_created: true,
+            registered: false,
+        };
+        let mut script = VecDeque::new();
+        routing_script(
+            &mut script,
+            &costs,
+            &locks,
+            Transport::Udp,
+            10_000,
+            true,
+            &plan,
+        );
+        let kinds: Vec<&'static str> = script
+            .iter()
+            .map(|s| match s {
+                Syscall::Compute { tag, .. } => *tag,
+                Syscall::LockAcquire { .. } => "acquire",
+                Syscall::LockRelease { .. } => "release",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                tags::PARSE,
+                "acquire",
+                tags::ROUTE,
+                "release",
+                "acquire",
+                tags::USRLOC,
+                "release",
+                "acquire",
+                tags::TIMER_INSERT,
+                "release",
+            ]
+        );
+    }
+
+    #[test]
+    fn routing_script_skips_timer_on_reliable_transport() {
+        let costs = AppCostModel::opteron_2006();
+        let locks = Locks {
+            txn: LockId(0),
+            usrloc: LockId(1),
+            timer: LockId(2),
+            conn: LockId(3),
+        };
+        let plan = Plan {
+            out: vec![],
+            absorbed: false,
+            txn_created: true,
+            registered: false,
+        };
+        let mut script = VecDeque::new();
+        routing_script(
+            &mut script,
+            &costs,
+            &locks,
+            Transport::Tcp,
+            5_000,
+            true,
+            &plan,
+        );
+        assert!(!script.iter().any(|s| matches!(
+            s,
+            Syscall::Compute { tag, .. } if *tag == tags::TIMER_INSERT
+        )));
+    }
+
+    #[test]
+    fn absorbed_retransmission_skips_usrloc() {
+        let costs = AppCostModel::opteron_2006();
+        let locks = Locks {
+            txn: LockId(0),
+            usrloc: LockId(1),
+            timer: LockId(2),
+            conn: LockId(3),
+        };
+        let plan = Plan {
+            absorbed: true,
+            ..Default::default()
+        };
+        let mut script = VecDeque::new();
+        routing_script(
+            &mut script,
+            &costs,
+            &locks,
+            Transport::Udp,
+            5_000,
+            true,
+            &plan,
+        );
+        assert!(!script.iter().any(|s| matches!(
+            s,
+            Syscall::Compute { tag, .. } if *tag == tags::USRLOC
+        )));
+    }
+}

@@ -1,0 +1,110 @@
+//! The SCTP mode (§6): the UDP architecture on a reliable transport.
+//!
+//! SCTP is connection-oriented and reliable like TCP but message-based like
+//! UDP, and the kernel manages its associations. The proxy can therefore
+//! keep the symmetric worker architecture: every worker receives whole
+//! messages from the shared one-to-many endpoint and sends to any peer
+//! without user-level connection management, descriptor passing, or
+//! per-connection write locks. The paper predicts this removes most of the
+//! TCP architecture's overheads while retaining reliable delivery — the
+//! `extensions` bench quantifies it.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use siperf_simos::process::{Process, ResumeCtx};
+use siperf_simos::syscall::{Fd, SysResult, Syscall};
+use siperf_sip::parse::parse_message;
+
+use crate::config::{AppCostModel, Transport};
+use crate::core::ProxyCore;
+use crate::plumbing::{routing_script, Locks};
+
+/// One symmetric SCTP worker process.
+pub struct SctpWorker {
+    core: Rc<RefCell<ProxyCore>>,
+    costs: AppCostModel,
+    locks: Locks,
+    fd_slot: Rc<Cell<Option<Fd>>>,
+    fd: Fd,
+    script: VecDeque<Syscall>,
+}
+
+impl SctpWorker {
+    /// Creates a worker; the shared endpoint descriptor is installed by the
+    /// spawner before the run.
+    pub fn new(
+        core: Rc<RefCell<ProxyCore>>,
+        costs: AppCostModel,
+        locks: Locks,
+        fd_slot: Rc<Cell<Option<Fd>>>,
+    ) -> Self {
+        SctpWorker {
+            core,
+            costs,
+            locks,
+            fd_slot,
+            fd: Fd(u32::MAX),
+            script: VecDeque::new(),
+        }
+    }
+
+    fn recv(&self) -> Syscall {
+        Syscall::SctpRecv { fd: self.fd }
+    }
+}
+
+impl Process for SctpWorker {
+    fn resume(&mut self, ctx: &mut ResumeCtx, last: SysResult) -> Syscall {
+        if let SysResult::Err(_) = last {
+            self.core.borrow_mut().stats.send_errors += 1;
+        }
+        if let Some(next) = self.script.pop_front() {
+            return next;
+        }
+        match last {
+            SysResult::Start => {
+                self.fd = self
+                    .fd_slot
+                    .get()
+                    .expect("shared SCTP endpoint installed before run");
+                self.recv()
+            }
+            SysResult::SctpMsg { from, data } => {
+                let parse_ns = self.costs.parse_cost(data.len());
+                match parse_message(&data) {
+                    Err(_) => {
+                        self.core.borrow_mut().stats.parse_errors += 1;
+                        self.script.push_back(Syscall::Compute {
+                            ns: parse_ns,
+                            tag: crate::plumbing::tags::PARSE,
+                        });
+                    }
+                    Ok(msg) => {
+                        let was_request = msg.is_request();
+                        let plan = self.core.borrow_mut().handle_message(ctx.now, msg, from);
+                        routing_script(
+                            &mut self.script,
+                            &self.costs,
+                            &self.locks,
+                            Transport::Sctp,
+                            parse_ns,
+                            was_request,
+                            &plan,
+                        );
+                        for out in plan.out {
+                            self.script.push_back(Syscall::SctpSend {
+                                fd: self.fd,
+                                to: out.dest,
+                                data: out.bytes,
+                            });
+                        }
+                    }
+                }
+                self.script.pop_front().expect("script never empty here")
+            }
+            _ => self.recv(),
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Wiring a complete proxy into the simulated kernel.
+//!
+//! [`spawn_proxy`] builds the shared state, locks, and IPC channels for the
+//! configured architecture, spawns every process (workers, supervisor or
+//! acceptor, timer), and hands back a [`ProxyHandle`] for observing the run.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use siperf_simnet::addr::{HostId, SockAddr};
+use siperf_simnet::SIP_PORT;
+use siperf_simos::kernel::Kernel;
+use siperf_simos::process::ProcId;
+use siperf_simos::syscall::Fd;
+
+use crate::config::{Arch, IdleStrategy, ProxyConfig, Transport};
+use crate::conn::ConnTable;
+use crate::core::{ProxyCore, ProxyStats};
+use crate::plumbing::Locks;
+use crate::sctp::SctpWorker;
+use crate::tcp::{Supervisor, TcpShared, TcpWorker};
+use crate::threaded::{Acceptor, ThreadShared, ThreadWorker};
+use crate::timer::TimerProc;
+use crate::udp::UdpWorker;
+use crate::util::addr_to_host_str;
+
+/// Number of striped per-connection write locks in the threaded mode.
+const WRITE_LOCK_STRIPES: usize = 16;
+
+/// Observer handle over a spawned proxy.
+pub struct ProxyHandle {
+    /// The routing engine and statistics.
+    pub core: Rc<RefCell<ProxyCore>>,
+    /// The shared TCP connection table (empty under UDP/SCTP).
+    pub conns: Rc<RefCell<ConnTable>>,
+    /// The server host.
+    pub host: HostId,
+    /// The proxy's SIP address.
+    pub addr: SockAddr,
+    /// The shared-memory locks, for contention reports.
+    pub locks: Locks,
+    /// Worker process ids.
+    pub workers: Vec<ProcId>,
+    /// The supervisor (TCP multi-process) or acceptor (threaded) process.
+    pub supervisor: Option<ProcId>,
+    /// The timer process.
+    pub timer: Option<ProcId>,
+    /// The configuration the proxy was spawned with.
+    pub cfg: Rc<ProxyConfig>,
+}
+
+impl ProxyHandle {
+    /// Snapshot of the proxy's statistics.
+    pub fn stats(&self) -> ProxyStats {
+        self.core.borrow().stats
+    }
+
+    /// Live connection-object count.
+    pub fn open_conns(&self) -> usize {
+        self.conns.borrow().len()
+    }
+}
+
+/// Builds and spawns a proxy on `host` per `cfg`.
+///
+/// # Panics
+///
+/// Panics if the SIP port cannot be bound — a configuration error at world
+/// building time.
+pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> ProxyHandle {
+    let cfg = Rc::new(cfg);
+    let addr = SockAddr::new(host, SIP_PORT);
+    let core = Rc::new(RefCell::new(ProxyCore::new(
+        addr_to_host_str(addr),
+        cfg.transport,
+        cfg.stateful,
+    )));
+    core.borrow_mut().txn_linger = cfg.txn_linger;
+    let conns = Rc::new(RefCell::new(match cfg.idle_strategy {
+        IdleStrategy::LinearScan => ConnTable::new(),
+        IdleStrategy::PriorityQueue => ConnTable::with_priority_queue(),
+    }));
+    let locks = Locks {
+        txn: kernel.create_lock("txn_table"),
+        usrloc: kernel.create_lock("usrloc"),
+        timer: kernel.create_lock("timer_list"),
+        conn: kernel.create_lock("tcpconn_hash"),
+    };
+    let n = cfg.worker_count();
+    let mut workers = Vec::with_capacity(n);
+    let mut supervisor = None;
+    let timer;
+
+    match (cfg.transport, cfg.arch) {
+        (Transport::Udp, _) => {
+            let mut slots = Vec::with_capacity(n);
+            for i in 0..n {
+                let slot: Rc<Cell<Option<Fd>>> = Rc::new(Cell::new(None));
+                let worker =
+                    UdpWorker::new(core.clone(), cfg.app_costs.clone(), locks, slot.clone());
+                workers.push(kernel.spawn(
+                    host,
+                    cfg.worker_nice,
+                    format!("udp_worker{i}"),
+                    Box::new(worker),
+                ));
+                slots.push(slot);
+            }
+            timer = Some(kernel.spawn(
+                host,
+                cfg.worker_nice,
+                "timer",
+                Box::new(TimerProc::new(
+                    core.clone(),
+                    cfg.app_costs.clone(),
+                    locks,
+                    cfg.timer_tick,
+                    Transport::Udp,
+                    None,
+                )),
+            ));
+            let fds = kernel
+                .setup_shared_udp(host, SIP_PORT, &workers)
+                .expect("bind proxy UDP socket");
+            for (slot, fd) in slots.iter().zip(fds) {
+                slot.set(Some(fd));
+            }
+        }
+        (Transport::Sctp, _) => {
+            let mut slots = Vec::with_capacity(n + 1);
+            for i in 0..n {
+                let slot: Rc<Cell<Option<Fd>>> = Rc::new(Cell::new(None));
+                let worker =
+                    SctpWorker::new(core.clone(), cfg.app_costs.clone(), locks, slot.clone());
+                workers.push(kernel.spawn(
+                    host,
+                    cfg.worker_nice,
+                    format!("sctp_worker{i}"),
+                    Box::new(worker),
+                ));
+                slots.push(slot);
+            }
+            let timer_slot: Rc<Cell<Option<Fd>>> = Rc::new(Cell::new(None));
+            timer = Some(kernel.spawn(
+                host,
+                cfg.worker_nice,
+                "timer",
+                Box::new(TimerProc::new(
+                    core.clone(),
+                    cfg.app_costs.clone(),
+                    locks,
+                    cfg.timer_tick,
+                    Transport::Sctp,
+                    Some(timer_slot.clone()),
+                )),
+            ));
+            slots.push(timer_slot);
+            let mut pids = workers.clone();
+            pids.push(timer.expect("just spawned"));
+            let fds = kernel
+                .setup_shared_sctp(host, SIP_PORT, &pids)
+                .expect("bind proxy SCTP endpoint");
+            for (slot, fd) in slots.iter().zip(fds) {
+                slot.set(Some(fd));
+            }
+        }
+        (Transport::Tcp, Arch::MultiProcess) => {
+            let assign_chans: Vec<_> = (0..n)
+                .map(|_| kernel.create_ipc_pair(cfg.ipc_capacity))
+                .collect();
+            let req_chans: Vec<_> = (0..n)
+                .map(|_| kernel.create_ipc_pair(cfg.ipc_capacity))
+                .collect();
+            let shared = TcpShared {
+                core: core.clone(),
+                conns: conns.clone(),
+                cfg: cfg.clone(),
+                locks,
+            };
+            supervisor = Some(kernel.spawn(
+                host,
+                cfg.supervisor_nice,
+                "tcp_main",
+                Box::new(Supervisor::new(
+                    shared.clone(),
+                    assign_chans.clone(),
+                    req_chans.clone(),
+                )),
+            ));
+            for i in 0..n {
+                workers.push(kernel.spawn(
+                    host,
+                    cfg.worker_nice,
+                    format!("tcp_worker{i}"),
+                    Box::new(TcpWorker::new(
+                        i,
+                        shared.clone(),
+                        assign_chans[i],
+                        req_chans[i],
+                    )),
+                ));
+            }
+            timer = Some(kernel.spawn(
+                host,
+                cfg.worker_nice,
+                "timer",
+                Box::new(TimerProc::new(
+                    core.clone(),
+                    cfg.app_costs.clone(),
+                    locks,
+                    cfg.timer_tick,
+                    Transport::Tcp,
+                    None,
+                )),
+            ));
+        }
+        (Transport::Tcp, Arch::MultiThread) => {
+            let notify_chans: Vec<_> = (0..n)
+                .map(|_| kernel.create_ipc_pair(cfg.ipc_capacity))
+                .collect();
+            let write_locks: Vec<_> = (0..WRITE_LOCK_STRIPES)
+                .map(|_| kernel.create_lock("conn_write"))
+                .collect();
+            let shared = ThreadShared {
+                core: core.clone(),
+                conns: conns.clone(),
+                cfg: cfg.clone(),
+                locks,
+                write_locks: Rc::new(write_locks),
+                fd_registry: Rc::new(RefCell::new(Default::default())),
+            };
+            let acceptor = kernel.spawn(
+                host,
+                cfg.supervisor_nice,
+                "acceptor_thread",
+                Box::new(Acceptor::new(shared.clone(), notify_chans.clone())),
+            );
+            supervisor = Some(acceptor);
+            for i in 0..n {
+                workers.push(kernel.spawn_thread(
+                    cfg.worker_nice,
+                    format!("worker_thread{i}"),
+                    Box::new(ThreadWorker::new(i, shared.clone(), notify_chans[i])),
+                    acceptor,
+                ));
+            }
+            timer = Some(kernel.spawn(
+                host,
+                cfg.worker_nice,
+                "timer",
+                Box::new(TimerProc::new(
+                    core.clone(),
+                    cfg.app_costs.clone(),
+                    locks,
+                    cfg.timer_tick,
+                    Transport::Tcp,
+                    None,
+                )),
+            ));
+        }
+    }
+
+    ProxyHandle {
+        core,
+        conns,
+        host,
+        addr,
+        locks,
+        workers,
+        supervisor,
+        timer,
+        cfg,
+    }
+}

@@ -1,0 +1,158 @@
+//! The timer process.
+//!
+//! §3.2: "the timer process is essential to UDP, since UDP does not
+//! guarantee delivery and a stateful proxy must retransmit messages for
+//! transactions that do not receive a response." It periodically walks the
+//! global timer list under its lock, retransmitting stored requests and
+//! reaping finished transactions.
+//!
+//! §3.1: the same process exists under TCP but is "superfluous" — it still
+//! ticks and scans (costing CPU and lock hold time, faithfully), but the
+//! reliable transport never needs a retransmission. Transaction timeouts
+//! (408) are only deliverable on datagram transports here; on TCP the timer
+//! lacks a connection and drops them, which only matters when a phone dies
+//! mid-call.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use siperf_simos::process::{Process, ResumeCtx};
+use siperf_simos::syscall::{Fd, SysResult, Syscall};
+
+use crate::config::{AppCostModel, Transport};
+use crate::core::ProxyCore;
+use crate::plumbing::{tags, Locks};
+
+/// How the timer process puts retransmissions on the wire.
+enum TimerSocket {
+    /// Needs its own ephemeral UDP socket.
+    Udp(Option<Fd>),
+    /// Shares the inherited SCTP endpoint.
+    Sctp(Rc<Cell<Option<Fd>>>, Option<Fd>),
+    /// TCP: no socket; retransmissions never happen, timeouts are dropped.
+    None,
+}
+
+/// The retransmission/reaping timer process.
+pub struct TimerProc {
+    core: Rc<RefCell<ProxyCore>>,
+    costs: AppCostModel,
+    locks: Locks,
+    tick: siperf_simcore::time::SimDuration,
+    socket: TimerSocket,
+    script: VecDeque<Syscall>,
+    started: bool,
+}
+
+impl TimerProc {
+    /// Creates the timer process for the given transport.
+    pub fn new(
+        core: Rc<RefCell<ProxyCore>>,
+        costs: AppCostModel,
+        locks: Locks,
+        tick: siperf_simcore::time::SimDuration,
+        transport: Transport,
+        sctp_fd_slot: Option<Rc<Cell<Option<Fd>>>>,
+    ) -> Self {
+        let socket = match transport {
+            Transport::Udp => TimerSocket::Udp(None),
+            Transport::Sctp => {
+                TimerSocket::Sctp(sctp_fd_slot.expect("sctp slot for sctp proxy"), None)
+            }
+            Transport::Tcp => TimerSocket::None,
+        };
+        TimerProc {
+            core,
+            costs,
+            locks,
+            tick,
+            socket,
+            script: VecDeque::new(),
+            started: false,
+        }
+    }
+
+    fn run_pass(&mut self, ctx: &ResumeCtx) {
+        // Lock ordering per OpenSER: timer list first, then transactions.
+        self.script.push_back(Syscall::LockAcquire {
+            lock: self.locks.timer,
+        });
+        self.script.push_back(Syscall::LockAcquire {
+            lock: self.locks.txn,
+        });
+        let pass = self.core.borrow_mut().timer_pass(ctx.now);
+        let scan_ns = self
+            .costs
+            .timer_scan_entry
+            .saturating_mul(pass.examined.max(1));
+        self.script.push_back(Syscall::Compute {
+            ns: scan_ns,
+            tag: tags::TIMER_SCAN,
+        });
+        self.script.push_back(Syscall::LockRelease {
+            lock: self.locks.txn,
+        });
+        self.script.push_back(Syscall::LockRelease {
+            lock: self.locks.timer,
+        });
+        let send_fd = match &self.socket {
+            TimerSocket::Udp(fd) => *fd,
+            TimerSocket::Sctp(_, fd) => *fd,
+            TimerSocket::None => None,
+        };
+        for out in pass.retransmits.into_iter().chain(pass.timeouts) {
+            match (&self.socket, send_fd) {
+                (TimerSocket::Udp(_), Some(fd)) => {
+                    self.script.push_back(Syscall::UdpSend {
+                        fd,
+                        to: out.dest,
+                        data: out.bytes,
+                    });
+                }
+                (TimerSocket::Sctp(..), Some(fd)) => {
+                    self.script.push_back(Syscall::SctpSend {
+                        fd,
+                        to: out.dest,
+                        data: out.bytes,
+                    });
+                }
+                _ => {
+                    // TCP timer has no connection to send on; see module
+                    // docs.
+                    self.core.borrow_mut().stats.send_errors += 1;
+                }
+            }
+        }
+        self.script.push_back(Syscall::Sleep(self.tick));
+    }
+}
+
+impl Process for TimerProc {
+    fn resume(&mut self, ctx: &mut ResumeCtx, last: SysResult) -> Syscall {
+        if let SysResult::Err(_) = last {
+            self.core.borrow_mut().stats.send_errors += 1;
+        }
+        if !self.started {
+            self.started = true;
+            match &mut self.socket {
+                TimerSocket::Udp(_) => return Syscall::UdpBindEphemeral,
+                TimerSocket::Sctp(slot, fd) => {
+                    *fd = Some(slot.get().expect("shared SCTP endpoint installed"));
+                }
+                TimerSocket::None => {}
+            }
+            return Syscall::Sleep(self.tick);
+        }
+        if let TimerSocket::Udp(fd @ None) = &mut self.socket {
+            *fd = Some(last.expect_fd());
+            return Syscall::Sleep(self.tick);
+        }
+        if let Some(next) = self.script.pop_front() {
+            return next;
+        }
+        // Woke from the tick: run a pass and start draining its script.
+        self.run_pass(ctx);
+        self.script.pop_front().expect("pass always emits syscalls")
+    }
+}

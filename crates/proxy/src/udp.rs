@@ -1,0 +1,111 @@
+//! The UDP worker (§3.2): the symmetric architecture.
+//!
+//! Every worker runs the same loop on the same inherited socket: receive a
+//! datagram, parse it, match or create the transaction under the shared
+//! lock, look up the route, and send — no connection management, no
+//! supervisor, no descriptor passing. Any worker can receive from any phone
+//! and send to any phone.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use siperf_simos::process::{Process, ResumeCtx};
+use siperf_simos::syscall::{Fd, SysResult, Syscall};
+use siperf_sip::parse::parse_message;
+
+use crate::config::{AppCostModel, Transport};
+use crate::core::ProxyCore;
+use crate::plumbing::{routing_script, Locks};
+
+/// One symmetric UDP worker process.
+pub struct UdpWorker {
+    core: Rc<RefCell<ProxyCore>>,
+    costs: AppCostModel,
+    locks: Locks,
+    /// Filled by the spawner after fork-inheritance of the shared socket.
+    fd_slot: Rc<Cell<Option<Fd>>>,
+    fd: Fd,
+    script: VecDeque<Syscall>,
+}
+
+impl UdpWorker {
+    /// Creates a worker; `fd_slot` must be filled (via
+    /// [`siperf_simos::kernel::Kernel::setup_shared_udp`]) before the
+    /// simulation runs.
+    pub fn new(
+        core: Rc<RefCell<ProxyCore>>,
+        costs: AppCostModel,
+        locks: Locks,
+        fd_slot: Rc<Cell<Option<Fd>>>,
+    ) -> Self {
+        UdpWorker {
+            core,
+            costs,
+            locks,
+            fd_slot,
+            fd: Fd(u32::MAX),
+            script: VecDeque::new(),
+        }
+    }
+
+    fn recv(&self) -> Syscall {
+        Syscall::UdpRecv { fd: self.fd }
+    }
+}
+
+impl Process for UdpWorker {
+    fn resume(&mut self, ctx: &mut ResumeCtx, last: SysResult) -> Syscall {
+        if let SysResult::Err(_) = last {
+            // Only sends can fail in this loop; count and continue.
+            self.core.borrow_mut().stats.send_errors += 1;
+        }
+        if let Some(next) = self.script.pop_front() {
+            return next;
+        }
+        match last {
+            SysResult::Start => {
+                self.fd = self
+                    .fd_slot
+                    .get()
+                    .expect("shared SIP socket installed before run");
+                self.recv()
+            }
+            SysResult::Datagram { from, data } => {
+                let parse_ns = self.costs.parse_cost(data.len());
+                match parse_message(&data) {
+                    Err(_) => {
+                        self.core.borrow_mut().stats.parse_errors += 1;
+                        self.script.push_back(Syscall::Compute {
+                            ns: parse_ns,
+                            tag: crate::plumbing::tags::PARSE,
+                        });
+                    }
+                    Ok(msg) => {
+                        let was_request = msg.is_request();
+                        let plan = self.core.borrow_mut().handle_message(ctx.now, msg, from);
+                        routing_script(
+                            &mut self.script,
+                            &self.costs,
+                            &self.locks,
+                            Transport::Udp,
+                            parse_ns,
+                            was_request,
+                            &plan,
+                        );
+                        for out in plan.out {
+                            self.script.push_back(Syscall::UdpSend {
+                                fd: self.fd,
+                                to: out.dest,
+                                data: out.bytes,
+                            });
+                        }
+                    }
+                }
+                self.script.pop_front().expect("script never empty here")
+            }
+            // Script drained (or a send completed): back to the loop top.
+            _ => self.recv(),
+        }
+    }
+}

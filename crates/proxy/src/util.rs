@@ -1,0 +1,37 @@
+//! Small helpers shared across the proxy.
+
+use siperf_simnet::addr::{HostId, SockAddr};
+
+/// Renders a socket address in the textual form used inside SIP messages
+/// (`Via` sent-by, `Contact` hosts): `h<N>:<port>`.
+pub fn addr_to_host_str(addr: SockAddr) -> String {
+    format!("{}:{}", addr.host, addr.port)
+}
+
+/// Parses the textual form back into an address.
+pub fn parse_sim_addr(s: &str) -> Option<SockAddr> {
+    let (host, port) = s.split_once(':')?;
+    let host_num: u32 = host.strip_prefix('h')?.parse().ok()?;
+    let port: u16 = port.parse().ok()?;
+    Some(SockAddr::new(HostId(host_num), port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let a = SockAddr::new(HostId(3), 20017);
+        assert_eq!(addr_to_host_str(a), "h3:20017");
+        assert_eq!(parse_sim_addr("h3:20017"), Some(a));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_sim_addr("example.com:5060"), None);
+        assert_eq!(parse_sim_addr("h1"), None);
+        assert_eq!(parse_sim_addr("h1:notaport"), None);
+        assert_eq!(parse_sim_addr("hx:80"), None);
+    }
+}

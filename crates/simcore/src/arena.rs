@@ -1,0 +1,387 @@
+//! A generational arena for simulation entities.
+//!
+//! Connections, processes, timers, and sockets are created and destroyed
+//! constantly during a run. A generational arena gives O(1)
+//! insert/remove/lookup with small, `Copy` handles, and the generation check
+//! turns use-after-free (e.g. a worker touching a connection the supervisor
+//! already destroyed — a real OpenSER hazard) into a detectable `None`
+//! instead of silent corruption.
+//!
+//! # Examples
+//!
+//! ```
+//! use siperf_simcore::arena::Arena;
+//!
+//! let mut arena: Arena<&str> = Arena::new();
+//! let id = arena.insert("conn");
+//! assert_eq!(arena[id], "conn");
+//! arena.remove(id);
+//! assert!(arena.get(id).is_none()); // stale handle detected
+//! ```
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// A small `Copy` handle into an [`Arena<T>`].
+///
+/// The type parameter ties a handle to its arena's element type so handles
+/// for different entity kinds cannot be mixed up.
+pub struct Handle<T> {
+    index: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Handle<T> {
+    /// A sentinel handle that never resolves; useful as "no entity yet".
+    pub const DANGLING: Handle<T> = Handle {
+        index: u32::MAX,
+        generation: u32::MAX,
+        _marker: PhantomData,
+    };
+
+    /// Raw slot index; stable for the lifetime of the entity and suitable as
+    /// a compact map key alongside [`Handle::generation`].
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Generation of the slot at handle creation time.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+// Manual impls: `derive` would bound on `T`, but handles are always Copy.
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+impl<T> PartialEq for Handle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<T> Eq for Handle<T> {}
+impl<T> std::hash::Hash for Handle<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<T> PartialOrd for Handle<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Handle<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.index, self.generation).cmp(&(other.index, other.generation))
+    }
+}
+impl<T> fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}v{}", self.index, self.generation)
+    }
+}
+
+enum Slot<T> {
+    Occupied {
+        generation: u32,
+        value: T,
+    },
+    Free {
+        generation: u32,
+        next_free: Option<u32>,
+    },
+}
+
+/// A generational arena: O(1) insert, remove, and checked lookup.
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty arena with room for `cap` entities.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free_head: None,
+            len: 0,
+        }
+    }
+
+    /// Inserts a value and returns its handle.
+    pub fn insert(&mut self, value: T) -> Handle<T> {
+        self.len += 1;
+        if let Some(idx) = self.free_head {
+            let slot = &mut self.slots[idx as usize];
+            let generation = match *slot {
+                Slot::Free {
+                    generation,
+                    next_free,
+                } => {
+                    self.free_head = next_free;
+                    generation
+                }
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, value };
+            Handle {
+                index: idx,
+                generation,
+                _marker: PhantomData,
+            }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                value,
+            });
+            Handle {
+                index: idx,
+                generation: 0,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Removes the entity behind `handle`, returning it if the handle was
+    /// still live.
+    pub fn remove(&mut self, handle: Handle<T>) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == handle.generation => {
+                let next_gen = generation.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Free {
+                        generation: next_gen,
+                        next_free: self.free_head,
+                    },
+                );
+                self.free_head = Some(handle.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Free { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Checked lookup; `None` if the handle is stale or dangling.
+    pub fn get(&self, handle: Handle<T>) -> Option<&T> {
+        match self.slots.get(handle.index as usize)? {
+            Slot::Occupied { generation, value } if *generation == handle.generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Checked mutable lookup.
+    pub fn get_mut(&mut self, handle: Handle<T>) -> Option<&mut T> {
+        match self.slots.get_mut(handle.index as usize)? {
+            Slot::Occupied { generation, value } if *generation == handle.generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// True if the handle still refers to a live entity.
+    pub fn contains(&self, handle: Handle<T>) -> bool {
+        self.get(handle).is_some()
+    }
+
+    /// Number of live entities.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entities are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(handle, &value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle<T>, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Occupied { generation, value } => Some((
+                    Handle {
+                        index: i as u32,
+                        generation: *generation,
+                        _marker: PhantomData,
+                    },
+                    value,
+                )),
+                Slot::Free { .. } => None,
+            })
+    }
+
+    /// Iterates over `(handle, &mut value)` pairs in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Handle<T>, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Occupied { generation, value } => Some((
+                    Handle {
+                        index: i as u32,
+                        generation: *generation,
+                        _marker: PhantomData,
+                    },
+                    value,
+                )),
+                Slot::Free { .. } => None,
+            })
+    }
+
+    /// Collects the handles of all live entities (useful when mutation during
+    /// iteration is needed, e.g. scan-and-close loops).
+    pub fn handles(&self) -> Vec<Handle<T>> {
+        self.iter().map(|(h, _)| h).collect()
+    }
+}
+
+impl<T> Index<Handle<T>> for Arena<T> {
+    type Output = T;
+    /// # Panics
+    ///
+    /// Panics if the handle is stale or dangling.
+    fn index(&self, handle: Handle<T>) -> &T {
+        self.get(handle).expect("stale arena handle")
+    }
+}
+
+impl<T> IndexMut<Handle<T>> for Arena<T> {
+    fn index_mut(&mut self, handle: Handle<T>) -> &mut T {
+        self.get_mut(handle).expect("stale arena handle")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = Arena::new();
+        let h1 = a.insert(10);
+        let h2 = a.insert(20);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[h1], 10);
+        assert_eq!(a[h2], 20);
+        assert_eq!(a.remove(h1), Some(10));
+        assert_eq!(a.len(), 1);
+        assert!(a.get(h1).is_none());
+        assert_eq!(a[h2], 20);
+    }
+
+    #[test]
+    fn stale_handles_do_not_resolve_after_reuse() {
+        let mut a = Arena::new();
+        let h1 = a.insert("first");
+        a.remove(h1);
+        let h2 = a.insert("second");
+        // Slot is reused but the generation differs.
+        assert_eq!(h1.index(), h2.index());
+        assert_ne!(h1.generation(), h2.generation());
+        assert!(a.get(h1).is_none());
+        assert_eq!(a[h2], "second");
+        assert_eq!(a.remove(h1), None);
+    }
+
+    #[test]
+    fn dangling_never_resolves() {
+        let a: Arena<i32> = Arena::new();
+        assert!(a.get(Handle::DANGLING).is_none());
+        assert!(!a.contains(Handle::DANGLING));
+    }
+
+    #[test]
+    fn iteration_visits_only_live() {
+        let mut a = Arena::new();
+        let h1 = a.insert(1);
+        let _h2 = a.insert(2);
+        let h3 = a.insert(3);
+        a.remove(h1);
+        let values: Vec<i32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![2, 3]);
+        assert!(a.contains(h3));
+        assert_eq!(a.handles().len(), 2);
+    }
+
+    #[test]
+    fn iter_mut_allows_updates() {
+        let mut a = Arena::new();
+        a.insert(1);
+        a.insert(2);
+        for (_, v) in a.iter_mut() {
+            *v *= 10;
+        }
+        let sum: i32 = a.iter().map(|(_, v)| *v).sum();
+        assert_eq!(sum, 30);
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut a = Arena::new();
+        let handles: Vec<_> = (0..100).map(|i| a.insert(i)).collect();
+        for h in &handles {
+            a.remove(*h);
+        }
+        for i in 0..100 {
+            a.insert(i);
+        }
+        // All inserts should have reused freed slots.
+        assert_eq!(a.len(), 100);
+        assert!(a.handles().iter().all(|h| h.index() < 100));
+    }
+
+    #[test]
+    fn get_mut_respects_generation() {
+        let mut a = Arena::new();
+        let h = a.insert(5);
+        *a.get_mut(h).unwrap() = 6;
+        assert_eq!(a[h], 6);
+        a.remove(h);
+        assert!(a.get_mut(h).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn index_panics_on_stale() {
+        let mut a = Arena::new();
+        let h = a.insert(1);
+        a.remove(h);
+        let _ = a[h];
+    }
+}

@@ -1,0 +1,61 @@
+//! Network addressing: hosts, ports, socket addresses.
+
+use std::fmt;
+
+/// Identifies a simulated machine (the proxy server, a client box, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A transport-layer port number.
+pub type Port = u16;
+
+/// The canonical SIP port, used by the proxy in every experiment.
+pub const SIP_PORT: Port = 5060;
+
+/// A `(host, port)` pair — the simulation's equivalent of an IP
+/// address/port endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SockAddr {
+    /// The machine.
+    pub host: HostId,
+    /// The port on that machine.
+    pub port: Port,
+}
+
+impl SockAddr {
+    /// Builds an address.
+    pub const fn new(host: HostId, port: Port) -> Self {
+        SockAddr { host, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let a = SockAddr::new(HostId(3), 5060);
+        assert_eq!(a.to_string(), "h3:5060");
+    }
+
+    #[test]
+    fn ordering_is_by_host_then_port() {
+        let a = SockAddr::new(HostId(1), 9000);
+        let b = SockAddr::new(HostId(2), 80);
+        assert!(a < b);
+        assert!(SockAddr::new(HostId(1), 80) < a);
+    }
+}

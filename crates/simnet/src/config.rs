@@ -1,0 +1,87 @@
+//! Network model parameters.
+
+use siperf_simcore::time::SimDuration;
+
+/// Tunable parameters of the simulated network, chosen to model the paper's
+//  testbed: gigabit Ethernet on one switch, Linux 2.6.20 TCP defaults.
+/// All experiments share one instance.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way propagation + switching + interrupt latency between any two
+    /// hosts. The paper's testbed is a single gigabit switch: tens of
+    /// microseconds per hop.
+    pub one_way_latency: SimDuration,
+    /// Uniform jitter added on top of `one_way_latency` (0..jitter).
+    pub latency_jitter: SimDuration,
+    /// TCP maximum segment size; sends are delivered in chunks of at most
+    /// this many bytes, so stream reassembly is genuinely exercised.
+    pub mss: usize,
+    /// Receive-buffer capacity per TCP connection side; senders are blocked
+    /// (backpressure) when the peer's buffer is full.
+    pub tcp_rcv_buf: usize,
+    /// Accept-queue depth for listening sockets (`listen()` backlog).
+    pub accept_backlog: usize,
+    /// First ephemeral port (Linux default 32768).
+    pub ephemeral_lo: u16,
+    /// Last ephemeral port inclusive (Linux default 61000).
+    pub ephemeral_hi: u16,
+    /// How long an actively-closed connection's local port stays in
+    /// TIME_WAIT before reuse (Linux: 60 s).
+    pub time_wait: SimDuration,
+    /// Probability that a UDP datagram is silently dropped. Zero on the
+    /// paper's LAN; raised in retransmission tests.
+    pub udp_loss: f64,
+    /// Maximum datagrams queued on a UDP socket before arrivals are dropped
+    /// (models `net.core.rmem` limits).
+    pub udp_rcv_queue: usize,
+    /// Maximum live endpoints per host — models the per-host descriptor
+    /// budget whose exhaustion the paper observed with 120 s idle timeouts.
+    pub max_endpoints_per_host: usize,
+    /// SCTP association setup time in addition to the handshake RTT.
+    pub sctp_assoc_setup: SimDuration,
+}
+
+impl NetConfig {
+    /// The configuration used to reproduce the paper's testbed.
+    pub fn lan() -> Self {
+        NetConfig {
+            one_way_latency: SimDuration::from_micros(60),
+            latency_jitter: SimDuration::from_micros(20),
+            mss: 1460,
+            tcp_rcv_buf: 64 * 1024,
+            accept_backlog: 1024,
+            ephemeral_lo: 32768,
+            ephemeral_hi: 61000,
+            time_wait: SimDuration::from_secs(60),
+            udp_loss: 0.0,
+            udp_rcv_queue: 4096,
+            max_endpoints_per_host: 32768,
+            sctp_assoc_setup: SimDuration::from_micros(30),
+        }
+    }
+
+    /// Number of ephemeral ports available per host.
+    pub fn ephemeral_count(&self) -> usize {
+        (self.ephemeral_hi - self.ephemeral_lo) as usize + 1
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_defaults_are_sane() {
+        let c = NetConfig::lan();
+        assert!(c.ephemeral_count() > 20_000);
+        assert!(c.mss >= 536);
+        assert_eq!(c.udp_loss, 0.0);
+        assert!(c.time_wait > SimDuration::from_secs(1));
+    }
+}

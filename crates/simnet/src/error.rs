@@ -1,0 +1,69 @@
+//! Error numbers for simulated socket operations.
+
+use std::fmt;
+
+/// The subset of POSIX errno values the simulated stack can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// Connection attempt was refused (no listener, or accept queue full).
+    ConnRefused,
+    /// Peer endpoint was closed; writing is no longer possible.
+    ConnReset,
+    /// Address already bound by another socket.
+    AddrInUse,
+    /// The host's ephemeral-port pool is exhausted.
+    PortsExhausted,
+    /// The host's descriptor/endpoint budget is exhausted.
+    Emfile,
+    /// Operation on a socket that is not connected/established.
+    NotConnected,
+    /// Non-blocking operation would block.
+    WouldBlock,
+    /// Operation timed out.
+    TimedOut,
+    /// The file descriptor does not refer to a valid object.
+    BadFd,
+    /// Operation is not valid for this socket type.
+    InvalidOp,
+    /// The channel/queue peer is gone.
+    BrokenPipe,
+}
+
+impl Errno {
+    /// Short lowercase description, errno-style.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Errno::ConnRefused => "connection refused",
+            Errno::ConnReset => "connection reset by peer",
+            Errno::AddrInUse => "address already in use",
+            Errno::PortsExhausted => "ephemeral ports exhausted",
+            Errno::Emfile => "too many open descriptors",
+            Errno::NotConnected => "socket is not connected",
+            Errno::WouldBlock => "operation would block",
+            Errno::TimedOut => "operation timed out",
+            Errno::BadFd => "bad file descriptor",
+            Errno::InvalidOp => "invalid operation for socket type",
+            Errno::BrokenPipe => "broken pipe",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_lowercase_without_punctuation() {
+        let msg = Errno::ConnRefused.to_string();
+        assert_eq!(msg, "connection refused");
+        assert!(!msg.ends_with('.'));
+    }
+}

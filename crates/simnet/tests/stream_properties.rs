@@ -1,0 +1,152 @@
+//! Property tests on the TCP model: a connection is a perfect, ordered,
+//! lossless byte pipe in each direction under arbitrary send sizes and
+//! read interleavings — the invariant SIP's `Content-Length` framing (and
+//! therefore the whole TCP proxy) stands on.
+
+use proptest::prelude::*;
+
+use siperf_simcore::queue::EventQueue;
+use siperf_simcore::time::SimTime;
+use siperf_simnet::endpoint::bytes_from;
+use siperf_simnet::event::NetEvent;
+use siperf_simnet::net::Network;
+use siperf_simnet::{EpId, Errno, HostId, NetConfig, SockAddr};
+
+struct Pump {
+    net: Network,
+    q: EventQueue<NetEvent>,
+    now: SimTime,
+}
+
+impl Pump {
+    fn new(cfg: NetConfig, seed: u64) -> (Self, EpId, EpId) {
+        let mut net = Network::new(cfg, seed);
+        let server = net.add_host();
+        let client = net.add_host();
+        let listener = net.tcp_listen(server, 5060, 64).unwrap();
+        let c = net
+            .tcp_connect(SimTime::ZERO, client, SockAddr::new(server, 5060))
+            .unwrap();
+        let mut pump = Pump {
+            net,
+            q: EventQueue::new(),
+            now: SimTime::ZERO,
+        };
+        pump.settle();
+        let (s, _) = pump.net.tcp_try_accept(listener).unwrap();
+        (pump, c, s)
+    }
+
+    /// Delivers every scheduled frame (advancing virtual time).
+    fn settle(&mut self) {
+        loop {
+            for (t, ev) in self.net.take_events() {
+                self.q.schedule(t, ev);
+            }
+            let _ = self.net.take_outcomes();
+            match self.q.pop() {
+                Some((t, ev)) => {
+                    self.now = t;
+                    self.net.handle_event(t, ev);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the chunking of sends and reads, each direction delivers
+    /// exactly the bytes that were written, in order.
+    #[test]
+    fn tcp_is_an_ordered_lossless_pipe(
+        to_server in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..400), 0..12),
+        to_client in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..400), 0..12),
+        read_sizes in proptest::collection::vec(1usize..700, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let (mut pump, c, s) = Pump::new(NetConfig::lan(), seed);
+
+        // Interleave sends from both sides; settle periodically so windows
+        // stay open (payloads are far below the 64 KiB buffer).
+        let mut i = 0;
+        let mut j = 0;
+        while i < to_server.len() || j < to_client.len() {
+            if i < to_server.len() {
+                pump.net
+                    .tcp_send(pump.now, c, bytes_from(to_server[i].clone()))
+                    .unwrap();
+                i += 1;
+            }
+            if j < to_client.len() {
+                pump.net
+                    .tcp_send(pump.now, s, bytes_from(to_client[j].clone()))
+                    .unwrap();
+                j += 1;
+            }
+            pump.settle();
+        }
+
+        // Drain each side with arbitrary read sizes.
+        let drain = |pump: &mut Pump, ep| {
+            let mut got = Vec::new();
+            let mut k = 0;
+            loop {
+                let max = read_sizes[k % read_sizes.len()];
+                k += 1;
+                match pump.net.tcp_try_recv(ep, max) {
+                    Ok((bytes, _)) if !bytes.is_empty() => got.extend(bytes),
+                    Ok(_) => break,
+                    Err(Errno::WouldBlock) => break,
+                    Err(e) => panic!("unexpected recv error: {e}"),
+                }
+            }
+            got
+        };
+        let got_server = drain(&mut pump, s);
+        let got_client = drain(&mut pump, c);
+
+        prop_assert_eq!(got_server, to_server.concat());
+        prop_assert_eq!(got_client, to_client.concat());
+    }
+
+    /// Closing after sending never loses data: the peer reads everything,
+    /// then sees EOF; total host endpoints return to just the listener.
+    #[test]
+    fn close_after_send_drains_then_eofs(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..300), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let (mut pump, c, s) = Pump::new(NetConfig::lan(), seed);
+        for p in &payloads {
+            pump.net
+                .tcp_send(pump.now, c, bytes_from(p.clone()))
+                .unwrap();
+        }
+        pump.net.close(pump.now, c);
+        pump.settle();
+
+        let mut got = Vec::new();
+        let eof = loop {
+            match pump.net.tcp_try_recv(s, 128) {
+                Ok((bytes, eof)) => {
+                    got.extend(bytes);
+                    if eof {
+                        break true;
+                    }
+                }
+                Err(e) => panic!("unexpected recv error: {e}"),
+            }
+        };
+        prop_assert!(eof);
+        prop_assert_eq!(got, payloads.concat());
+        pump.net.close(pump.now, s);
+        pump.settle();
+        // Only the listener remains on the server host, nothing on the
+        // client host.
+        prop_assert_eq!(pump.net.endpoints_on(HostId(0)), 1);
+        prop_assert_eq!(pump.net.endpoints_on(HostId(1)), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Bounded bidirectional IPC channels (unix socketpairs).
+//!
+//! OpenSER's TCP supervisor talks to each worker over unix sockets: new
+//! connections are assigned by passing descriptors, and workers request
+//! descriptors for connections they need to write to (§3.1). The channels
+//! have **finite buffers** and OpenSER uses **blocking** sends and receives
+//! on them — the combination the paper's §6 identifies as a deadlock: a
+//! worker blocked receiving a response while the supervisor is blocked
+//! sending an assignment to that same worker.
+//!
+//! A channel has two [`Side`]s; each side has its own receive queue fed by
+//! the other side's sends.
+
+use std::collections::VecDeque;
+
+use crate::syscall::IpcMsg;
+
+/// Identifies a channel within the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(pub u32);
+
+/// Which end of a channel a descriptor speaks from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// Conventionally the supervisor end.
+    A,
+    /// Conventionally the worker end.
+    B,
+}
+
+impl Side {
+    /// The opposite end.
+    pub fn other(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+/// A queued message, with any passed descriptor already resolved to the
+/// kernel object it references (so the sender closing its copy cannot
+/// invalidate the transfer).
+#[derive(Debug, Clone)]
+pub struct Parcel<K> {
+    /// The message as sent (its `fd` field is meaningless in flight).
+    pub msg: IpcMsg,
+    /// Kernel object behind the passed descriptor, if one was attached.
+    pub passed: Option<K>,
+}
+
+/// A bidirectional bounded channel. Generic over the kernel's descriptor
+/// object type `K` to keep this module independent of the fd table.
+#[derive(Debug)]
+pub struct Channel<K> {
+    to_a: VecDeque<Parcel<K>>,
+    to_b: VecDeque<Parcel<K>>,
+    capacity: usize,
+}
+
+impl<K> Channel<K> {
+    /// Creates a channel whose per-direction buffer holds `capacity`
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity unix socket cannot
+    /// transfer anything).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        Channel {
+            to_a: VecDeque::new(),
+            to_b: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn queue_towards(&mut self, dst: Side) -> &mut VecDeque<Parcel<K>> {
+        match dst {
+            Side::A => &mut self.to_a,
+            Side::B => &mut self.to_b,
+        }
+    }
+
+    /// True if a send *from* `from` would block.
+    pub fn full_towards(&self, from: Side) -> bool {
+        let q = match from.other() {
+            Side::A => &self.to_a,
+            Side::B => &self.to_b,
+        };
+        q.len() >= self.capacity
+    }
+
+    /// Queues a parcel sent from `from`. Returns `false` (and drops nothing)
+    /// if the buffer is full — the caller blocks the sender.
+    pub fn send_from(&mut self, from: Side, parcel: Parcel<K>) -> Result<(), Parcel<K>> {
+        if self.full_towards(from) {
+            return Err(parcel);
+        }
+        self.queue_towards(from.other()).push_back(parcel);
+        Ok(())
+    }
+
+    /// Dequeues the next parcel destined for `side`.
+    pub fn recv_at(&mut self, side: Side) -> Option<Parcel<K>> {
+        self.queue_towards(side).pop_front()
+    }
+
+    /// Number of messages waiting for `side`.
+    pub fn pending_for(&self, side: Side) -> usize {
+        match side {
+            Side::A => self.to_a.len(),
+            Side::B => self.to_b.len(),
+        }
+    }
+
+    /// The per-direction capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parcel(kind: u32) -> Parcel<()> {
+        Parcel {
+            msg: IpcMsg::new(kind, 0, 0),
+            passed: None,
+        }
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut ch: Channel<()> = Channel::new(2);
+        ch.send_from(Side::A, parcel(1)).unwrap();
+        ch.send_from(Side::B, parcel(2)).unwrap();
+        assert_eq!(ch.pending_for(Side::B), 1);
+        assert_eq!(ch.pending_for(Side::A), 1);
+        assert_eq!(ch.recv_at(Side::B).unwrap().msg.kind, 1);
+        assert_eq!(ch.recv_at(Side::A).unwrap().msg.kind, 2);
+        assert!(ch.recv_at(Side::A).is_none());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut ch: Channel<()> = Channel::new(8);
+        for k in 0..5 {
+            ch.send_from(Side::A, parcel(k)).unwrap();
+        }
+        for k in 0..5 {
+            assert_eq!(ch.recv_at(Side::B).unwrap().msg.kind, k);
+        }
+    }
+
+    #[test]
+    fn capacity_blocks_sender() {
+        let mut ch: Channel<()> = Channel::new(1);
+        ch.send_from(Side::A, parcel(1)).unwrap();
+        assert!(ch.full_towards(Side::A));
+        let rejected = ch.send_from(Side::A, parcel(2)).unwrap_err();
+        assert_eq!(rejected.msg.kind, 2);
+        // The other direction is unaffected.
+        assert!(!ch.full_towards(Side::B));
+        ch.recv_at(Side::B).unwrap();
+        ch.send_from(Side::A, parcel(2)).unwrap();
+    }
+
+    #[test]
+    fn side_other() {
+        assert_eq!(Side::A.other(), Side::B);
+        assert_eq!(Side::B.other(), Side::A);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: Channel<()> = Channel::new(0);
+    }
+}

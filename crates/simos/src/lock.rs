@@ -1,0 +1,140 @@
+//! Shared-memory spinlocks, modelled as OpenSER implements them.
+//!
+//! OpenSER guards its shared structures (the transaction table, the TCP
+//! connection hash table, the timer list) with userspace spinlocks that
+//! spin briefly and then call `sched_yield` when the lock stays held. Under
+//! contention this floods the run queue — the paper's §5.2 profile found
+//! "the top ten kernel functions are all in the Linux scheduler" while the
+//! supervisor scanned the connection table under its lock.
+//!
+//! The kernel charges [`crate::cost::CostModel::lock_spin_yield`] per failed
+//! attempt and requeues the process, so that scheduler storm emerges rather
+//! than being scripted.
+
+use crate::process::ProcId;
+
+/// Identifies a lock within the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// One spinlock's state plus contention accounting.
+#[derive(Debug)]
+pub struct Lock {
+    /// Human-readable name for reports ("tcpconn_hash", "txn_table", …).
+    pub name: &'static str,
+    holder: Option<ProcId>,
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Failed attempts (spin + yield episodes).
+    pub contentions: u64,
+}
+
+impl Lock {
+    /// Creates a free lock.
+    pub fn new(name: &'static str) -> Self {
+        Lock {
+            name,
+            holder: None,
+            acquisitions: 0,
+            contentions: 0,
+        }
+    }
+
+    /// Attempts acquisition for `pid`. Returns `true` on success.
+    pub fn try_acquire(&mut self, pid: ProcId) -> bool {
+        match self.holder {
+            None => {
+                self.holder = Some(pid);
+                self.acquisitions += 1;
+                true
+            }
+            Some(holder) => {
+                assert_ne!(holder, pid, "lock {:?} re-acquired by holder", self.name);
+                self.contentions += 1;
+                false
+            }
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not the holder — always an application bug worth
+    /// failing loudly on.
+    pub fn release(&mut self, pid: ProcId) {
+        assert_eq!(
+            self.holder,
+            Some(pid),
+            "lock {:?} released by non-holder",
+            self.name
+        );
+        self.holder = None;
+    }
+
+    /// The current holder, if any.
+    pub fn holder(&self) -> Option<ProcId> {
+        self.holder
+    }
+
+    /// Fraction of attempts that failed; a direct contention signal for the
+    /// ablation reports.
+    pub fn contention_ratio(&self) -> f64 {
+        let attempts = self.acquisitions + self.contentions;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.contentions as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut l = Lock::new("test");
+        let p1 = ProcId(1);
+        let p2 = ProcId(2);
+        assert!(l.try_acquire(p1));
+        assert_eq!(l.holder(), Some(p1));
+        assert!(!l.try_acquire(p2));
+        l.release(p1);
+        assert!(l.try_acquire(p2));
+    }
+
+    #[test]
+    fn contention_accounting() {
+        let mut l = Lock::new("test");
+        assert!(l.try_acquire(ProcId(1)));
+        for _ in 0..3 {
+            assert!(!l.try_acquire(ProcId(2)));
+        }
+        assert_eq!(l.acquisitions, 1);
+        assert_eq!(l.contentions, 3);
+        assert!((l.contention_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_lock_has_zero_contention() {
+        assert_eq!(Lock::new("x").contention_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "released by non-holder")]
+    fn release_by_non_holder_panics() {
+        let mut l = Lock::new("test");
+        l.try_acquire(ProcId(1));
+        l.release(ProcId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquired by holder")]
+    fn reentrant_acquire_panics() {
+        let mut l = Lock::new("test");
+        l.try_acquire(ProcId(1));
+        l.try_acquire(ProcId(1));
+    }
+}

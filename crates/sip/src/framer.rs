@@ -1,0 +1,230 @@
+//! Message framing over byte streams.
+//!
+//! TCP has no message boundaries: a SIP message can arrive split across
+//! segments or coalesced with its neighbours. This is exactly why OpenSER
+//! must dedicate a single worker to each TCP connection (§3.1 — "otherwise,
+//! a message might be split across two worker processes"). The
+//! [`StreamFramer`] reassembles a connection's byte stream into complete
+//! messages using the `Content-Length` header, as RFC 3261 §18.3 requires.
+
+use crate::parse::header_end;
+
+/// A framing failure; the connection should be dropped, as OpenSER does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header section exceeds the sanity limit without terminating.
+    HeaderTooLong {
+        /// Bytes buffered so far.
+        buffered: usize,
+    },
+    /// The headers contain no parseable `Content-Length`.
+    MissingContentLength,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::HeaderTooLong { buffered } => {
+                write!(
+                    f,
+                    "header section exceeds limit ({buffered} bytes buffered)"
+                )
+            }
+            FrameError::MissingContentLength => {
+                write!(f, "stream message lacks content-length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Maximum bytes of un-terminated header we will buffer before declaring
+/// the stream corrupt.
+const MAX_HEADER: usize = 16 * 1024;
+
+/// Reassembles SIP messages from an ordered byte stream.
+#[derive(Debug, Default)]
+pub struct StreamFramer {
+    buf: Vec<u8>,
+    read_at: usize,
+}
+
+impl StreamFramer {
+    /// Creates an empty framer (one per TCP connection).
+    pub fn new() -> Self {
+        StreamFramer::default()
+    }
+
+    /// Appends stream bytes as they arrive from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so long-lived connections do not grow forever.
+        if self.read_at > 0 && self.read_at == self.buf.len() {
+            self.buf.clear();
+            self.read_at = 0;
+        } else if self.read_at > 64 * 1024 {
+            self.buf.drain(..self.read_at);
+            self.read_at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.read_at
+    }
+
+    /// Extracts the next complete message's bytes, if one is fully
+    /// buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the stream cannot possibly frame (oversized or
+    /// length-less headers); the caller should drop the connection.
+    pub fn next_message(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let window = &self.buf[self.read_at..];
+        let Some(head_len) = header_end(window) else {
+            if window.len() > MAX_HEADER {
+                return Err(FrameError::HeaderTooLong {
+                    buffered: window.len(),
+                });
+            }
+            return Ok(None);
+        };
+        let body_len =
+            scan_content_length(&window[..head_len]).ok_or(FrameError::MissingContentLength)?;
+        let total = head_len + body_len;
+        if window.len() < total {
+            return Ok(None);
+        }
+        let msg = window[..total].to_vec();
+        self.read_at += total;
+        Ok(Some(msg))
+    }
+
+    /// Drains every complete message currently buffered.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first framing error; messages already extracted are
+    /// kept by the caller.
+    pub fn drain_messages(&mut self) -> Result<Vec<Vec<u8>>, FrameError> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.next_message()? {
+            out.push(msg);
+        }
+        Ok(out)
+    }
+}
+
+/// Finds `Content-Length` (or compact `l`) in a raw header section without
+/// a full parse — the cheap pre-scan a stream transport performs.
+fn scan_content_length(head: &[u8]) -> Option<usize> {
+    let text = std::str::from_utf8(head).ok()?;
+    for line in text.split("\r\n").skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name == "content-length" || name == "l" {
+            return value.trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, CallParty};
+    use crate::msg::Method;
+    use crate::parse::parse_message;
+
+    fn sample_bytes(n: u32) -> Vec<u8> {
+        let caller = CallParty::new("alice", "h1:5060");
+        let callee = CallParty::new("bob", "h2:5060");
+        let msg = gen::invite(
+            &caller,
+            &callee,
+            "proxy",
+            &format!("call-{n}"),
+            &format!("z9hG4bK{n}"),
+            "TCP",
+        );
+        msg.to_bytes()
+    }
+
+    #[test]
+    fn whole_message_in_one_push() {
+        let mut f = StreamFramer::new();
+        let bytes = sample_bytes(1);
+        f.push(&bytes);
+        let got = f.next_message().unwrap().unwrap();
+        assert_eq!(got, bytes);
+        assert_eq!(f.next_message().unwrap(), None);
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn message_split_byte_by_byte() {
+        let mut f = StreamFramer::new();
+        let bytes = sample_bytes(2);
+        for b in &bytes {
+            assert_eq!(f.next_message().unwrap(), None);
+            f.push(std::slice::from_ref(b));
+        }
+        assert_eq!(f.next_message().unwrap().unwrap(), bytes);
+    }
+
+    #[test]
+    fn coalesced_messages_split_correctly() {
+        let mut f = StreamFramer::new();
+        let a = sample_bytes(1);
+        let b = sample_bytes(2);
+        let c = sample_bytes(3);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        f.push(&all);
+        let msgs = f.drain_messages().unwrap();
+        assert_eq!(msgs, vec![a, b, c]);
+    }
+
+    #[test]
+    fn framed_messages_parse() {
+        let mut f = StreamFramer::new();
+        f.push(&sample_bytes(9));
+        let raw = f.next_message().unwrap().unwrap();
+        let msg = parse_message(&raw).unwrap();
+        assert_eq!(msg.method(), Some(Method::Invite));
+        assert_eq!(msg.call_id, "call-9");
+    }
+
+    #[test]
+    fn missing_content_length_is_fatal() {
+        let mut f = StreamFramer::new();
+        f.push(b"INVITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/TCP c:1;branch=z9hG4bK\r\n\r\n");
+        assert_eq!(f.next_message(), Err(FrameError::MissingContentLength));
+    }
+
+    #[test]
+    fn oversized_headers_are_fatal() {
+        let mut f = StreamFramer::new();
+        f.push(&vec![b'x'; MAX_HEADER + 1]);
+        assert!(matches!(
+            f.next_message(),
+            Err(FrameError::HeaderTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_compacts_after_drain() {
+        let mut f = StreamFramer::new();
+        for i in 0..50 {
+            f.push(&sample_bytes(i));
+            f.next_message().unwrap().unwrap();
+        }
+        f.push(b"");
+        assert_eq!(f.buffered(), 0);
+    }
+}

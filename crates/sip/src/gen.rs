@@ -1,0 +1,308 @@
+//! Builders for the benchmark's message flows.
+//!
+//! These construct the exact messages of the paper's workload (§2): the
+//! registration phase, then calls consisting of an **invite transaction**
+//! (INVITE → 100 Trying → 180 Ringing → 200 OK → ACK) and a **bye
+//! transaction** (BYE → 200 OK), all flowing through the proxy.
+
+use crate::msg::{Method, NameAddr, SipMessage, SipUri, StartLine, StatusCode, Via};
+
+/// The RFC 3261 branch magic cookie every transaction id starts with.
+pub const BRANCH_COOKIE: &str = "z9hG4bK";
+
+/// One endpoint of a call (a simulated phone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallParty {
+    /// SIP user name.
+    pub user: String,
+    /// `host:port` the phone sends from (Via `sent-by` and Contact host).
+    pub sent_by: String,
+}
+
+impl CallParty {
+    /// Builds a party.
+    pub fn new(user: impl Into<String>, sent_by: impl Into<String>) -> Self {
+        CallParty {
+            user: user.into(),
+            sent_by: sent_by.into(),
+        }
+    }
+
+    /// The party's address-of-record within `domain`.
+    pub fn aor(&self, domain: &str) -> SipUri {
+        SipUri::new(self.user.clone(), domain.to_string())
+    }
+
+    /// The party's contact URI (directly reachable address).
+    pub fn contact(&self) -> SipUri {
+        SipUri::new(self.user.clone(), self.sent_by.clone())
+    }
+}
+
+/// A small default body standing in for SDP, sized like a real offer.
+fn fake_sdp(user: &str) -> Vec<u8> {
+    format!(
+        "v=0\r\no=- 3894 3894 IN IP4 {user}.invalid\r\ns=call\r\n\
+         c=IN IP4 10.0.0.1\r\nt=0 0\r\nm=audio 49170 RTP/AVP 0\r\na=rtpmap:0 PCMU/8000\r\n"
+    )
+    .into_bytes()
+}
+
+/// Builds a REGISTER request binding `party`'s contact in `domain`.
+pub fn register(
+    party: &CallParty,
+    domain: &str,
+    cseq: u32,
+    branch: &str,
+    transport: &str,
+) -> SipMessage {
+    SipMessage {
+        start: StartLine::Request {
+            method: Method::Register,
+            uri: SipUri::new(party.user.clone(), domain.to_string()),
+        },
+        vias: vec![Via::new(transport, party.sent_by.clone(), branch)],
+        from: NameAddr::with_tag(party.aor(domain), format!("rt-{}", party.user)),
+        to: NameAddr::new(party.aor(domain)),
+        call_id: format!("reg-{}@{}", party.user, party.sent_by),
+        cseq,
+        cseq_method: Method::Register,
+        contact: Some(party.contact()),
+        max_forwards: 70,
+        expires: Some(3600),
+        extra: vec![],
+        body: vec![],
+    }
+}
+
+/// Builds the INVITE opening a call (CSeq 1).
+pub fn invite(
+    caller: &CallParty,
+    callee: &CallParty,
+    domain: &str,
+    call_id: &str,
+    branch: &str,
+    transport: &str,
+) -> SipMessage {
+    SipMessage {
+        start: StartLine::Request {
+            method: Method::Invite,
+            uri: callee.aor(domain),
+        },
+        vias: vec![Via::new(transport, caller.sent_by.clone(), branch)],
+        from: NameAddr::with_tag(caller.aor(domain), format!("ft-{}", caller.user)),
+        to: NameAddr::new(callee.aor(domain)),
+        call_id: call_id.to_string(),
+        cseq: 1,
+        cseq_method: Method::Invite,
+        contact: Some(caller.contact()),
+        max_forwards: 70,
+        expires: None,
+        extra: vec![],
+        body: fake_sdp(&caller.user),
+    }
+}
+
+/// Builds the ACK for a 2xx answer (CSeq 1, its own transaction).
+pub fn ack(
+    caller: &CallParty,
+    callee: &CallParty,
+    domain: &str,
+    call_id: &str,
+    to_tag: &str,
+    branch: &str,
+    transport: &str,
+) -> SipMessage {
+    SipMessage {
+        start: StartLine::Request {
+            method: Method::Ack,
+            uri: callee.aor(domain),
+        },
+        vias: vec![Via::new(transport, caller.sent_by.clone(), branch)],
+        from: NameAddr::with_tag(caller.aor(domain), format!("ft-{}", caller.user)),
+        to: NameAddr::with_tag(callee.aor(domain), to_tag),
+        call_id: call_id.to_string(),
+        cseq: 1,
+        cseq_method: Method::Ack,
+        contact: None,
+        max_forwards: 70,
+        expires: None,
+        extra: vec![],
+        body: vec![],
+    }
+}
+
+/// Builds the CANCEL abandoning a ringing call. Per RFC 3261 §9.1 it
+/// matches the INVITE it cancels: same Request-URI, Call-ID, From, To
+/// (no tag yet), CSeq number — and, crucially, the *same branch*.
+pub fn cancel(
+    caller: &CallParty,
+    callee: &CallParty,
+    domain: &str,
+    call_id: &str,
+    invite_branch: &str,
+    transport: &str,
+) -> SipMessage {
+    SipMessage {
+        start: StartLine::Request {
+            method: Method::Cancel,
+            uri: callee.aor(domain),
+        },
+        vias: vec![Via::new(transport, caller.sent_by.clone(), invite_branch)],
+        from: NameAddr::with_tag(caller.aor(domain), format!("ft-{}", caller.user)),
+        to: NameAddr::new(callee.aor(domain)),
+        call_id: call_id.to_string(),
+        cseq: 1,
+        cseq_method: Method::Cancel,
+        contact: None,
+        max_forwards: 70,
+        expires: None,
+        extra: vec![],
+        body: vec![],
+    }
+}
+
+/// Builds the BYE ending a call (CSeq 2, sent by the caller here, matching
+/// the paper's workload where the same phone initiates and terminates).
+pub fn bye(
+    caller: &CallParty,
+    callee: &CallParty,
+    domain: &str,
+    call_id: &str,
+    to_tag: &str,
+    branch: &str,
+    transport: &str,
+) -> SipMessage {
+    SipMessage {
+        start: StartLine::Request {
+            method: Method::Bye,
+            uri: callee.aor(domain),
+        },
+        vias: vec![Via::new(transport, caller.sent_by.clone(), branch)],
+        from: NameAddr::with_tag(caller.aor(domain), format!("ft-{}", caller.user)),
+        to: NameAddr::with_tag(callee.aor(domain), to_tag),
+        call_id: call_id.to_string(),
+        cseq: 2,
+        cseq_method: Method::Bye,
+        contact: None,
+        max_forwards: 70,
+        expires: None,
+        extra: vec![],
+        body: vec![],
+    }
+}
+
+/// Builds a response to `request` per RFC 3261 §8.2.6: the Via stack,
+/// `From`, `Call-ID`, and `CSeq` are copied; `To` gains `to_tag` if given.
+pub fn response(
+    code: StatusCode,
+    request: &SipMessage,
+    to_tag: Option<&str>,
+    contact: Option<SipUri>,
+) -> SipMessage {
+    let mut to = request.to.clone();
+    if let Some(tag) = to_tag {
+        if to.tag.is_none() {
+            to.tag = Some(tag.to_string());
+        }
+    }
+    let body = if code.is_success() && request.cseq_method == Method::Invite {
+        fake_sdp(&to.uri.user)
+    } else {
+        vec![]
+    };
+    SipMessage {
+        start: StartLine::Response { code },
+        vias: request.vias.clone(),
+        from: request.from.clone(),
+        to,
+        call_id: request.call_id.clone(),
+        cseq: request.cseq,
+        cseq_method: request.cseq_method,
+        contact,
+        max_forwards: 70,
+        expires: request.expires,
+        extra: vec![],
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_message;
+
+    fn parties() -> (CallParty, CallParty) {
+        (
+            CallParty::new("alice", "h1:40001"),
+            CallParty::new("bob", "h2:40002"),
+        )
+    }
+
+    #[test]
+    fn register_shape() {
+        let (alice, _) = parties();
+        let msg = register(&alice, "proxy.lab", 1, "z9hG4bKr1", "UDP");
+        assert_eq!(msg.method(), Some(Method::Register));
+        assert_eq!(msg.expires, Some(3600));
+        assert_eq!(msg.contact.as_ref().unwrap().host, "h1:40001");
+        // Round-trips through the wire.
+        assert_eq!(parse_message(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn invite_shape_and_size_is_realistic() {
+        let (alice, bob) = parties();
+        let msg = invite(&alice, &bob, "proxy.lab", "call-1", "z9hG4bKi1", "UDP");
+        assert_eq!(msg.cseq, 1);
+        assert!(!msg.body.is_empty(), "INVITE carries an SDP offer");
+        let wire = msg.to_bytes();
+        assert!(
+            (300..1200).contains(&wire.len()),
+            "INVITE should be a realistic size, got {}",
+            wire.len()
+        );
+        assert_eq!(parse_message(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn call_flow_messages_share_dialog_ids() {
+        let (alice, bob) = parties();
+        let inv = invite(&alice, &bob, "d", "call-7", "z9hG4bKa", "TCP");
+        let ack = ack(&alice, &bob, "d", "call-7", "bt-bob", "z9hG4bKb", "TCP");
+        let bye = bye(&alice, &bob, "d", "call-7", "bt-bob", "z9hG4bKc", "TCP");
+        assert_eq!(inv.call_id, ack.call_id);
+        assert_eq!(ack.call_id, bye.call_id);
+        assert_eq!(inv.from, ack.from);
+        assert_eq!(bye.cseq, 2);
+        assert_eq!(ack.to.tag.as_deref(), Some("bt-bob"));
+        // Each transaction gets its own branch.
+        assert_ne!(inv.branch(), ack.branch());
+        assert_ne!(ack.branch(), bye.branch());
+    }
+
+    #[test]
+    fn response_copies_transaction_identity() {
+        let (alice, bob) = parties();
+        let inv = invite(&alice, &bob, "d", "call-2", "z9hG4bKx", "UDP");
+        let ringing = response(StatusCode::RINGING, &inv, Some("bt1"), None);
+        assert_eq!(ringing.status(), Some(StatusCode::RINGING));
+        assert_eq!(ringing.vias, inv.vias);
+        assert_eq!(ringing.call_id, inv.call_id);
+        assert_eq!(ringing.cseq, inv.cseq);
+        assert_eq!(ringing.cseq_method, Method::Invite);
+        assert_eq!(ringing.to.tag.as_deref(), Some("bt1"));
+        assert!(ringing.body.is_empty(), "1xx carries no answer");
+        let ok = response(StatusCode::OK, &inv, Some("bt1"), Some(bob.contact()));
+        assert!(!ok.body.is_empty(), "2xx to INVITE carries an SDP answer");
+        assert_eq!(parse_message(&ok.to_bytes()).unwrap(), ok);
+    }
+
+    #[test]
+    fn response_does_not_overwrite_existing_to_tag() {
+        let (alice, bob) = parties();
+        let bye = bye(&alice, &bob, "d", "c", "orig-tag", "z9hG4bKy", "UDP");
+        let ok = response(StatusCode::OK, &bye, Some("new-tag"), None);
+        assert_eq!(ok.to.tag.as_deref(), Some("orig-tag"));
+    }
+}

@@ -1,0 +1,471 @@
+//! The SIP message model: methods, status codes, URIs, headers, messages.
+//!
+//! This is the subset of RFC 3261 a stateful proxy actually routes on — the
+//! same headers OpenSER touches on its hot path: `Via` (with the `branch`
+//! transaction id), `From`/`To` (with tags), `Call-ID`, `CSeq`, `Contact`,
+//! `Max-Forwards`, `Expires`, and `Content-Length` (which TCP framing
+//! depends on). Everything else round-trips through `extra` headers.
+
+use std::fmt;
+
+/// A SIP request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// Initiates a session (a phone call).
+    Invite,
+    /// Acknowledges a final response to an INVITE.
+    Ack,
+    /// Terminates a session.
+    Bye,
+    /// Cancels a pending INVITE.
+    Cancel,
+    /// Binds a contact address with the registrar.
+    Register,
+    /// Capability query / keepalive.
+    Options,
+}
+
+impl Method {
+    /// Canonical wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Invite => "INVITE",
+            Method::Ack => "ACK",
+            Method::Bye => "BYE",
+            Method::Cancel => "CANCEL",
+            Method::Register => "REGISTER",
+            Method::Options => "OPTIONS",
+        }
+    }
+
+    /// Parses a wire token (case-sensitive, per RFC 3261).
+    pub fn from_token(s: &str) -> Option<Method> {
+        Some(match s {
+            "INVITE" => Method::Invite,
+            "ACK" => Method::Ack,
+            "BYE" => Method::Bye,
+            "CANCEL" => Method::Cancel,
+            "REGISTER" => Method::Register,
+            "OPTIONS" => Method::Options,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A SIP response status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 100 Trying — the stateful proxy's receipt acknowledgment.
+    pub const TRYING: StatusCode = StatusCode(100);
+    /// 180 Ringing.
+    pub const RINGING: StatusCode = StatusCode(180);
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 404 Not Found — callee not registered.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 408 Request Timeout — transaction timer expired.
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// 481 Call/Transaction Does Not Exist.
+    pub const NO_TRANSACTION: StatusCode = StatusCode(481);
+    /// 486 Busy Here.
+    pub const BUSY_HERE: StatusCode = StatusCode(486);
+    /// 487 Request Terminated — the INVITE's answer after a CANCEL.
+    pub const REQUEST_TERMINATED: StatusCode = StatusCode(487);
+    /// 500 Server Internal Error.
+    pub const SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable — overload shedding.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// True for 1xx responses.
+    pub fn is_provisional(self) -> bool {
+        (100..200).contains(&self.0)
+    }
+
+    /// True for 2xx–6xx responses.
+    pub fn is_final(self) -> bool {
+        self.0 >= 200
+    }
+
+    /// True for 2xx responses.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// The default reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            100 => "Trying",
+            180 => "Ringing",
+            200 => "OK",
+            404 => "Not Found",
+            408 => "Request Timeout",
+            481 => "Call/Transaction Does Not Exist",
+            486 => "Busy Here",
+            487 => "Request Terminated",
+            500 => "Server Internal Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// A `sip:user@host` URI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SipUri {
+    /// The user part.
+    pub user: String,
+    /// The host part (domain or address literal).
+    pub host: String,
+}
+
+impl SipUri {
+    /// Builds a URI from its parts.
+    pub fn new(user: impl Into<String>, host: impl Into<String>) -> Self {
+        SipUri {
+            user: user.into(),
+            host: host.into(),
+        }
+    }
+
+    /// Parses `sip:user@host`.
+    pub fn parse(s: &str) -> Option<SipUri> {
+        let rest = s.strip_prefix("sip:")?;
+        let (user, host) = rest.split_once('@')?;
+        if user.is_empty() || host.is_empty() {
+            return None;
+        }
+        Some(SipUri::new(user, host))
+    }
+}
+
+impl fmt::Display for SipUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sip:{}@{}", self.user, self.host)
+    }
+}
+
+/// A `From`/`To` header value: URI plus optional `tag` parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameAddr {
+    /// The address.
+    pub uri: SipUri,
+    /// The dialog tag, if assigned.
+    pub tag: Option<String>,
+}
+
+impl NameAddr {
+    /// An address without a tag.
+    pub fn new(uri: SipUri) -> Self {
+        NameAddr { uri, tag: None }
+    }
+
+    /// An address with a tag.
+    pub fn with_tag(uri: SipUri, tag: impl Into<String>) -> Self {
+        NameAddr {
+            uri,
+            tag: Some(tag.into()),
+        }
+    }
+}
+
+impl fmt::Display for NameAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.uri)?;
+        if let Some(tag) = &self.tag {
+            write!(f, ";tag={tag}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One `Via` header: the transport hop trace with the `branch` transaction
+/// id. Proxies push their Via when forwarding requests and pop it when
+/// forwarding responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Via {
+    /// Transport token: "UDP", "TCP", or "SCTP".
+    pub transport: String,
+    /// `host:port` this hop sent from.
+    pub sent_by: String,
+    /// The branch parameter (RFC 3261 magic-cookie transaction id).
+    pub branch: String,
+}
+
+impl Via {
+    /// Builds a Via hop.
+    pub fn new(
+        transport: impl Into<String>,
+        sent_by: impl Into<String>,
+        branch: impl Into<String>,
+    ) -> Self {
+        Via {
+            transport: transport.into(),
+            sent_by: sent_by.into(),
+            branch: branch.into(),
+        }
+    }
+}
+
+impl fmt::Display for Via {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SIP/2.0/{} {};branch={}",
+            self.transport, self.sent_by, self.branch
+        )
+    }
+}
+
+/// The first line of a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartLine {
+    /// `METHOD uri SIP/2.0`
+    Request {
+        /// The method.
+        method: Method,
+        /// The request URI.
+        uri: SipUri,
+    },
+    /// `SIP/2.0 code reason`
+    Response {
+        /// The status code.
+        code: StatusCode,
+    },
+}
+
+/// A parsed SIP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SipMessage {
+    /// Request or response line.
+    pub start: StartLine,
+    /// Via stack, topmost first.
+    pub vias: Vec<Via>,
+    /// `From` (the caller in a dialog).
+    pub from: NameAddr,
+    /// `To` (the callee in a dialog).
+    pub to: NameAddr,
+    /// `Call-ID`.
+    pub call_id: String,
+    /// `CSeq` sequence number.
+    pub cseq: u32,
+    /// `CSeq` method.
+    pub cseq_method: Method,
+    /// `Contact`, where the sender can be reached directly.
+    pub contact: Option<SipUri>,
+    /// `Max-Forwards` hop budget.
+    pub max_forwards: u32,
+    /// `Expires` (registrations).
+    pub expires: Option<u32>,
+    /// Headers this model does not interpret, preserved in order.
+    pub extra: Vec<(String, String)>,
+    /// The body (SDP in real calls; opaque bytes here).
+    pub body: Vec<u8>,
+}
+
+impl SipMessage {
+    /// True if this is a request.
+    pub fn is_request(&self) -> bool {
+        matches!(self.start, StartLine::Request { .. })
+    }
+
+    /// The request method, if a request.
+    pub fn method(&self) -> Option<Method> {
+        match &self.start {
+            StartLine::Request { method, .. } => Some(*method),
+            StartLine::Response { .. } => None,
+        }
+    }
+
+    /// The status code, if a response.
+    pub fn status(&self) -> Option<StatusCode> {
+        match &self.start {
+            StartLine::Response { code } => Some(*code),
+            StartLine::Request { .. } => None,
+        }
+    }
+
+    /// The topmost Via's branch — the transaction id for matching.
+    pub fn branch(&self) -> Option<&str> {
+        self.vias.first().map(|v| v.branch.as_str())
+    }
+
+    /// Serializes to wire bytes, computing `Content-Length` from the body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(256 + self.body.len());
+        match &self.start {
+            StartLine::Request { method, uri } => {
+                let _ = writeln!(head, "{method} {uri} SIP/2.0\r");
+            }
+            StartLine::Response { code } => {
+                let _ = writeln!(head, "SIP/2.0 {code}\r");
+            }
+        }
+        for via in &self.vias {
+            let _ = writeln!(head, "Via: {via}\r");
+        }
+        let _ = writeln!(head, "From: {}\r", self.from);
+        let _ = writeln!(head, "To: {}\r", self.to);
+        let _ = writeln!(head, "Call-ID: {}\r", self.call_id);
+        let _ = writeln!(head, "CSeq: {} {}\r", self.cseq, self.cseq_method);
+        if let Some(contact) = &self.contact {
+            let _ = writeln!(head, "Contact: <{contact}>\r");
+        }
+        let _ = writeln!(head, "Max-Forwards: {}\r", self.max_forwards);
+        if let Some(expires) = self.expires {
+            let _ = writeln!(head, "Expires: {expires}\r");
+        }
+        for (name, value) in &self.extra {
+            let _ = writeln!(head, "{name}: {value}\r");
+        }
+        let _ = writeln!(head, "Content-Length: {}\r", self.body.len());
+        let _ = writeln!(head, "\r");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+impl fmt::Display for SipMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            StartLine::Request { method, uri } => {
+                write!(f, "{method} {uri} (cseq {})", self.cseq)
+            }
+            StartLine::Response { code } => {
+                write!(f, "{code} for {} (cseq {})", self.cseq_method, self.cseq)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_tokens_roundtrip() {
+        for m in [
+            Method::Invite,
+            Method::Ack,
+            Method::Bye,
+            Method::Cancel,
+            Method::Register,
+            Method::Options,
+        ] {
+            assert_eq!(Method::from_token(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::from_token("invite"), None, "case-sensitive");
+        assert_eq!(Method::from_token("SUBSCRIBE"), None);
+    }
+
+    #[test]
+    fn status_classification() {
+        assert!(StatusCode::TRYING.is_provisional());
+        assert!(StatusCode::RINGING.is_provisional());
+        assert!(!StatusCode::OK.is_provisional());
+        assert!(StatusCode::OK.is_final());
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::NOT_FOUND.is_final());
+        assert!(!StatusCode::NOT_FOUND.is_success());
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+    }
+
+    #[test]
+    fn uri_parse_and_display() {
+        let u = SipUri::parse("sip:alice@rice.edu").unwrap();
+        assert_eq!(u.user, "alice");
+        assert_eq!(u.host, "rice.edu");
+        assert_eq!(u.to_string(), "sip:alice@rice.edu");
+        assert_eq!(SipUri::parse("sip:@host"), None);
+        assert_eq!(SipUri::parse("sip:user@"), None);
+        assert_eq!(SipUri::parse("http://x"), None);
+        assert_eq!(SipUri::parse("alice@rice.edu"), None);
+    }
+
+    #[test]
+    fn name_addr_display() {
+        let plain = NameAddr::new(SipUri::new("bob", "h1"));
+        assert_eq!(plain.to_string(), "<sip:bob@h1>");
+        let tagged = NameAddr::with_tag(SipUri::new("bob", "h1"), "xyz");
+        assert_eq!(tagged.to_string(), "<sip:bob@h1>;tag=xyz");
+    }
+
+    #[test]
+    fn via_display() {
+        let v = Via::new("UDP", "h2:5060", "z9hG4bK42");
+        assert_eq!(v.to_string(), "SIP/2.0/UDP h2:5060;branch=z9hG4bK42");
+    }
+
+    #[test]
+    fn serialized_request_shape() {
+        let msg = SipMessage {
+            start: StartLine::Request {
+                method: Method::Invite,
+                uri: SipUri::new("bob", "proxy"),
+            },
+            vias: vec![Via::new("TCP", "caller:5060", "z9hG4bK1")],
+            from: NameAddr::with_tag(SipUri::new("alice", "caller"), "a1"),
+            to: NameAddr::new(SipUri::new("bob", "proxy")),
+            call_id: "call-1@caller".into(),
+            cseq: 1,
+            cseq_method: Method::Invite,
+            contact: Some(SipUri::new("alice", "caller")),
+            max_forwards: 70,
+            expires: None,
+            extra: vec![("User-Agent".into(), "siperf/0.1".into())],
+            body: b"v=0 fake sdp".to_vec(),
+        };
+        let text = String::from_utf8(msg.to_bytes()).unwrap();
+        assert!(text.starts_with("INVITE sip:bob@proxy SIP/2.0\r\n"));
+        assert!(text.contains("Via: SIP/2.0/TCP caller:5060;branch=z9hG4bK1\r\n"));
+        assert!(text.contains("From: <sip:alice@caller>;tag=a1\r\n"));
+        assert!(text.contains("CSeq: 1 INVITE\r\n"));
+        assert!(text.contains("User-Agent: siperf/0.1\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.ends_with("\r\n\r\nv=0 fake sdp"));
+        assert_eq!(msg.branch(), Some("z9hG4bK1"));
+        assert!(msg.is_request());
+        assert_eq!(msg.method(), Some(Method::Invite));
+        assert_eq!(msg.status(), None);
+    }
+
+    #[test]
+    fn serialized_response_shape() {
+        let msg = SipMessage {
+            start: StartLine::Response {
+                code: StatusCode::RINGING,
+            },
+            vias: vec![],
+            from: NameAddr::new(SipUri::new("a", "h")),
+            to: NameAddr::new(SipUri::new("b", "h")),
+            call_id: "c".into(),
+            cseq: 2,
+            cseq_method: Method::Invite,
+            contact: None,
+            max_forwards: 70,
+            expires: None,
+            extra: vec![],
+            body: vec![],
+        };
+        let text = String::from_utf8(msg.to_bytes()).unwrap();
+        assert!(text.starts_with("SIP/2.0 180 Ringing\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
+        assert_eq!(msg.status(), Some(StatusCode::RINGING));
+        assert_eq!(msg.branch(), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! The paper's experiment grid, as reusable scenario constructors.
+//!
+//! Figures 3–5 share one grid: {100, 500, 1000} clients × {TCP 50 ops/conn,
+//! TCP 500 ops/conn, TCP persistent, UDP}, differing only in which fixes
+//! the proxy runs with. The ablations (§4.3) vary supervisor priority, idle
+//! timeout, and worker count on top of the same machinery.
+
+use siperf_proxy::config::{ProxyConfig, Transport};
+
+use crate::scenario::{Scenario, ScenarioBuilder};
+
+/// Which proxy build a figure evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureConfig {
+    /// Figure 3: stock OpenSER.
+    Baseline,
+    /// Figure 4: baseline + per-worker fd cache (§5.2).
+    FdCache,
+    /// Figure 5: fd cache + priority-queue idle management (§5.3).
+    FdCachePlusPq,
+}
+
+impl FigureConfig {
+    /// Applies this figure's fixes to a TCP proxy config.
+    pub fn apply(self, cfg: ProxyConfig) -> ProxyConfig {
+        match self {
+            FigureConfig::Baseline => cfg,
+            FigureConfig::FdCache => cfg.with_fd_cache(),
+            FigureConfig::FdCachePlusPq => cfg.with_fd_cache().with_priority_queue(),
+        }
+    }
+
+    /// Figure label in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            FigureConfig::Baseline => "Figure 3 (baseline)",
+            FigureConfig::FdCache => "Figure 4 (fd cache)",
+            FigureConfig::FdCachePlusPq => "Figure 5 (fd cache + priority queue)",
+        }
+    }
+}
+
+/// One bar of a figure: the transport workload dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportWorkload {
+    /// TCP, reconnect every 50 operations.
+    Tcp50,
+    /// TCP, reconnect every 500 operations.
+    Tcp500,
+    /// TCP, connections persist for the whole run.
+    TcpPersistent,
+    /// UDP.
+    Udp,
+}
+
+impl TransportWorkload {
+    /// All four bars, in the figures' order.
+    pub const ALL: [TransportWorkload; 4] = [
+        TransportWorkload::Tcp50,
+        TransportWorkload::Tcp500,
+        TransportWorkload::TcpPersistent,
+        TransportWorkload::Udp,
+    ];
+
+    /// Legend label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportWorkload::Tcp50 => "TCP 50 ops/conn",
+            TransportWorkload::Tcp500 => "TCP 500 ops/conn",
+            TransportWorkload::TcpPersistent => "TCP persistent conn",
+            TransportWorkload::Udp => "UDP",
+        }
+    }
+
+    /// The transport this workload runs on.
+    pub fn transport(self) -> Transport {
+        match self {
+            TransportWorkload::Udp => Transport::Udp,
+            _ => Transport::Tcp,
+        }
+    }
+
+    /// The reconnect policy, if any.
+    pub fn ops_per_conn(self) -> Option<u32> {
+        match self {
+            TransportWorkload::Tcp50 => Some(50),
+            TransportWorkload::Tcp500 => Some(500),
+            _ => None,
+        }
+    }
+}
+
+/// The client counts on the figures' x-axes.
+pub const CLIENT_COUNTS: [usize; 3] = [100, 500, 1000];
+
+/// Builds one cell of a figure (a single bar).
+pub fn figure_cell(
+    fig: FigureConfig,
+    workload: TransportWorkload,
+    clients: usize,
+    measure_secs: u64,
+    seed: u64,
+) -> Scenario {
+    let transport = workload.transport();
+    let mut proxy = ProxyConfig::paper(transport);
+    if transport == Transport::Tcp {
+        proxy = fig.apply(proxy);
+    }
+    let mut builder = Scenario::builder(format!(
+        "{} / {} clients / {}",
+        workload.label(),
+        clients,
+        match fig {
+            FigureConfig::Baseline => "baseline",
+            FigureConfig::FdCache => "fd-cache",
+            FigureConfig::FdCachePlusPq => "fd-cache+pq",
+        }
+    ))
+    .proxy(proxy)
+    .client_pairs(clients)
+    .measure_secs(measure_secs)
+    .seed(seed);
+    if let Some(k) = workload.ops_per_conn() {
+        builder = builder.ops_per_conn(k);
+    }
+    builder.build()
+}
+
+/// A scaled-down figure cell for tests: fewer clients, shorter window.
+pub fn quick_cell(
+    fig: FigureConfig,
+    workload: TransportWorkload,
+    clients: usize,
+    seed: u64,
+) -> Scenario {
+    let mut s = figure_cell(fig, workload, clients, 4, seed);
+    s.measure_from = siperf_simcore::time::SimDuration::from_millis(1500);
+    s.call_start = siperf_simcore::time::SimDuration::from_millis(800);
+    s
+}
+
+/// §4.3 supervisor-priority ablation: the same TCP persistent run with the
+/// supervisor at normal priority vs. nice −20.
+pub fn supervisor_priority_cell(elevated: bool, clients: usize, measure_secs: u64) -> Scenario {
+    let mut proxy = ProxyConfig::paper(Transport::Tcp);
+    if !elevated {
+        proxy.supervisor_nice = siperf_simos::process::Nice::NORMAL;
+    }
+    Scenario::builder(format!(
+        "supervisor nice {} / {clients} clients",
+        if elevated { "-20" } else { "0" }
+    ))
+    .proxy(proxy)
+    .client_pairs(clients)
+    .measure_secs(measure_secs)
+    .build()
+}
+
+/// §4.3 idle-timeout ablation: 10 s (the paper's choice) vs. the 120 s
+/// default that starved the server, under the churny 50-ops workload.
+pub fn idle_timeout_cell(timeout_secs: u64, clients: usize, measure_secs: u64) -> Scenario {
+    let mut proxy = ProxyConfig::paper(Transport::Tcp);
+    proxy.idle_timeout = siperf_simcore::time::SimDuration::from_secs(timeout_secs);
+    Scenario::builder(format!("idle timeout {timeout_secs}s / {clients} clients"))
+        .proxy(proxy)
+        .client_pairs(clients)
+        .ops_per_conn(50)
+        .measure_secs(measure_secs)
+        .build()
+}
+
+/// §4.3 worker-count selection sweep.
+pub fn worker_count_cell(
+    transport: Transport,
+    workers: usize,
+    clients: usize,
+    measure_secs: u64,
+) -> Scenario {
+    let mut proxy = ProxyConfig::paper(transport);
+    proxy.workers = Some(workers);
+    Scenario::builder(format!(
+        "{} workers={workers} / {clients} clients",
+        transport.token()
+    ))
+    .proxy(proxy)
+    .client_pairs(clients)
+    .measure_secs(measure_secs)
+    .build()
+}
+
+/// §6 extension: the multi-threaded architecture.
+pub fn threaded_cell(workload: TransportWorkload, clients: usize, measure_secs: u64) -> Scenario {
+    let mut proxy = ProxyConfig::paper(Transport::Tcp)
+        .with_fd_cache()
+        .with_priority_queue();
+    proxy.arch = siperf_proxy::config::Arch::MultiThread;
+    let mut builder = Scenario::builder(format!(
+        "threaded / {} / {clients} clients",
+        workload.label()
+    ))
+    .proxy(proxy)
+    .client_pairs(clients)
+    .measure_secs(measure_secs);
+    if let Some(k) = workload.ops_per_conn() {
+        builder = builder.ops_per_conn(k);
+    }
+    builder.build()
+}
+
+/// §6 extension: SCTP.
+pub fn sctp_cell(clients: usize, measure_secs: u64) -> Scenario {
+    Scenario::builder(format!("SCTP / {clients} clients"))
+        .transport(Transport::Sctp)
+        .client_pairs(clients)
+        .measure_secs(measure_secs)
+        .build()
+}
+
+/// Returns a builder preconfigured like `figure_cell` for further tuning.
+pub fn figure_builder(
+    fig: FigureConfig,
+    workload: TransportWorkload,
+    clients: usize,
+) -> ScenarioBuilder {
+    let transport = workload.transport();
+    let mut proxy = ProxyConfig::paper(transport);
+    if transport == Transport::Tcp {
+        proxy = fig.apply(proxy);
+    }
+    let mut b = Scenario::builder("custom")
+        .proxy(proxy)
+        .client_pairs(clients);
+    if let Some(k) = workload.ops_per_conn() {
+        b = b.ops_per_conn(k);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siperf_proxy::config::IdleStrategy;
+
+    #[test]
+    fn figure_configs_apply_the_right_fixes() {
+        let base = ProxyConfig::paper(Transport::Tcp);
+        let f3 = FigureConfig::Baseline.apply(base.clone());
+        assert!(!f3.fd_cache);
+        assert_eq!(f3.idle_strategy, IdleStrategy::LinearScan);
+        let f4 = FigureConfig::FdCache.apply(base.clone());
+        assert!(f4.fd_cache);
+        assert_eq!(f4.idle_strategy, IdleStrategy::LinearScan);
+        let f5 = FigureConfig::FdCachePlusPq.apply(base);
+        assert!(f5.fd_cache);
+        assert_eq!(f5.idle_strategy, IdleStrategy::PriorityQueue);
+    }
+
+    #[test]
+    fn workloads_map_to_transport_and_policy() {
+        assert_eq!(TransportWorkload::Udp.transport(), Transport::Udp);
+        assert_eq!(TransportWorkload::Tcp50.ops_per_conn(), Some(50));
+        assert_eq!(TransportWorkload::Tcp500.ops_per_conn(), Some(500));
+        assert_eq!(TransportWorkload::TcpPersistent.ops_per_conn(), None);
+        assert_eq!(TransportWorkload::ALL.len(), 4);
+    }
+
+    #[test]
+    fn cells_carry_the_grid_parameters() {
+        let s = figure_cell(FigureConfig::FdCache, TransportWorkload::Tcp50, 500, 8, 1);
+        assert_eq!(s.pairs, 500);
+        assert_eq!(s.ops_per_conn, Some(50));
+        assert!(s.proxy.fd_cache);
+        assert_eq!(s.proxy.worker_count(), 32);
+        let udp = figure_cell(FigureConfig::Baseline, TransportWorkload::Udp, 100, 8, 1);
+        assert_eq!(udp.proxy.worker_count(), 24);
+        assert_eq!(udp.ops_per_conn, None);
+    }
+
+    #[test]
+    fn ablation_cells() {
+        let normal = supervisor_priority_cell(false, 500, 4);
+        assert_eq!(
+            normal.proxy.supervisor_nice,
+            siperf_simos::process::Nice::NORMAL
+        );
+        let long = idle_timeout_cell(120, 500, 4);
+        assert_eq!(
+            long.proxy.idle_timeout,
+            siperf_simcore::time::SimDuration::from_secs(120)
+        );
+        assert_eq!(long.ops_per_conn, Some(50));
+        let sweep = worker_count_cell(Transport::Udp, 8, 100, 4);
+        assert_eq!(sweep.proxy.worker_count(), 8);
+    }
+
+    #[test]
+    fn extension_cells() {
+        let thr = threaded_cell(TransportWorkload::TcpPersistent, 100, 4);
+        assert_eq!(thr.proxy.arch, siperf_proxy::config::Arch::MultiThread);
+        let sctp = sctp_cell(100, 4);
+        assert_eq!(sctp.proxy.transport, Transport::Sctp);
+    }
+}

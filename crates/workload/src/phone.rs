@@ -1,0 +1,668 @@
+//! Transport-independent phone behaviour.
+//!
+//! The benchmark simulates thousands of phones (§4.2): callers drive a
+//! closed loop of calls against their designated callees, callees answer
+//! immediately. [`CallEngine`] is the caller's brain — it builds requests,
+//! tracks the in-flight transaction with its RFC 3261 retransmission clock,
+//! and decides what to do with each response — independent of how bytes
+//! reach the proxy, so the UDP/SCTP and TCP phone processes stay thin and
+//! the logic is unit-testable.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use siperf_simcore::time::SimTime;
+use siperf_simnet::addr::SockAddr;
+use siperf_simnet::endpoint::{bytes_from, Bytes};
+use siperf_sip::gen::{self, CallParty};
+use siperf_sip::msg::{Method, SipMessage, StatusCode};
+use siperf_sip::txn::{RetransClock, TimerVerdict, TIMEOUT};
+
+use crate::stats::WorkloadStats;
+
+/// Whether a phone initiates calls or answers them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Initiates INVITE and BYE transactions in a closed loop.
+    Caller,
+    /// Answers: 180 + 200 to INVITE, 200 to BYE.
+    Callee,
+}
+
+/// Static description of one phone.
+#[derive(Debug, Clone)]
+pub struct PhoneCfg {
+    /// SIP user name.
+    pub user: String,
+    /// Peer user this caller dials (unused for callees).
+    pub peer_user: String,
+    /// Caller or callee.
+    pub role: Role,
+    /// The phone's fixed local port (contact/listen port).
+    pub port: u16,
+    /// The proxy's address.
+    pub proxy: SockAddr,
+    /// SIP domain served by the proxy.
+    pub domain: String,
+    /// Via/Contact transport token ("UDP"/"TCP"/"SCTP").
+    pub transport: &'static str,
+    /// Whether the transport retransmits for us.
+    pub reliable: bool,
+    /// When callers may start dialing.
+    pub call_start: SimTime,
+    /// Per-phone startup stagger before registering.
+    pub stagger: siperf_simcore::time::SimDuration,
+    /// Reconnect after this many operations (TCP; `None` = persistent).
+    pub ops_per_conn: Option<u32>,
+    /// Abandon (CANCEL) every k-th call while it rings (`None` = never).
+    pub cancel_every: Option<u64>,
+    /// How long callees ring before answering 200 (zero = instant answer,
+    /// the paper's workload; nonzero makes CANCEL races winnable).
+    pub ring_delay: siperf_simcore::time::SimDuration,
+    /// CPU charged per message handled by the phone.
+    pub proc_ns: u64,
+    /// Shared result sink.
+    pub stats: Rc<RefCell<WorkloadStats>>,
+}
+
+impl PhoneCfg {
+    /// This phone as a SIP party (contact host is its `hN:port`).
+    pub fn party(&self, host: siperf_simnet::HostId) -> CallParty {
+        CallParty::new(self.user.clone(), format!("{}:{}", host, self.port))
+    }
+
+    /// Builds this phone's REGISTER request.
+    pub fn register_msg(&self, host: siperf_simnet::HostId) -> Bytes {
+        let party = self.party(host);
+        let msg = gen::register(
+            &party,
+            &self.domain,
+            1,
+            &format!("z9hG4bKreg{}", self.user),
+            self.transport,
+        );
+        bytes_from(msg.to_bytes())
+    }
+}
+
+/// Phase of the caller's current call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallPhase {
+    /// INVITE sent; waiting for any response, then the 200.
+    AwaitInvite,
+    /// ACK and BYE sent; waiting for the BYE's 200.
+    AwaitByeOk,
+}
+
+#[derive(Debug)]
+struct CallCtx {
+    call_id: String,
+    phase: CallPhase,
+    clock: RetransClock,
+    deadline: SimTime,
+    cur_msg: Bytes,
+    txn_start: SimTime,
+    invite_branch: String,
+    cancel_pending: bool,
+    cancel_sent: bool,
+}
+
+/// What the transport layer should do after consulting the engine.
+#[derive(Debug)]
+pub enum EngineAction {
+    /// Transmit these requests to the proxy, in order.
+    Send(Vec<Bytes>),
+    /// Nothing to do; wake the engine again at the embedded instant.
+    Wait(SimTime),
+}
+
+/// The caller's transaction state machine.
+#[derive(Debug)]
+pub struct CallEngine {
+    party: CallParty,
+    peer: CallParty,
+    domain: String,
+    transport: &'static str,
+    reliable: bool,
+    cancel_every: Option<u64>,
+    stats: Rc<RefCell<WorkloadStats>>,
+    call_no: u64,
+    call: Option<CallCtx>,
+    /// Operations completed since the engine started (drives reconnects).
+    pub ops_done: u64,
+}
+
+impl CallEngine {
+    /// Creates the engine for one caller.
+    pub fn new(cfg: &PhoneCfg, host: siperf_simnet::HostId) -> Self {
+        CallEngine {
+            party: cfg.party(host),
+            peer: CallParty::new(cfg.peer_user.clone(), String::new()),
+            domain: cfg.domain.clone(),
+            transport: cfg.transport,
+            reliable: cfg.reliable,
+            cancel_every: cfg.cancel_every,
+            stats: cfg.stats.clone(),
+            call_no: 0,
+            call: None,
+            ops_done: 0,
+        }
+    }
+
+    fn new_clock(&self, now: SimTime) -> RetransClock {
+        if self.reliable {
+            RetransClock::reliable(now)
+        } else {
+            RetransClock::new(now, Method::Invite)
+        }
+    }
+
+    /// Starts the next call, returning the INVITE to transmit.
+    pub fn start_call(&mut self, now: SimTime) -> Bytes {
+        self.call_no += 1;
+        let call_id = format!("c{}-{}", self.call_no, self.party.user);
+        let branch = format!("z9hG4bK{}i{}", self.party.user, self.call_no);
+        let invite = gen::invite(
+            &self.party,
+            &self.peer,
+            &self.domain,
+            &call_id,
+            &branch,
+            self.transport,
+        );
+        let bytes = bytes_from(invite.to_bytes());
+        self.stats.borrow_mut().call_attempts += 1;
+        let cancel_pending = self.cancel_every.is_some_and(|k| self.call_no % k == 0);
+        self.call = Some(CallCtx {
+            call_id,
+            phase: CallPhase::AwaitInvite,
+            clock: self.new_clock(now),
+            deadline: now + TIMEOUT,
+            cur_msg: bytes.clone(),
+            txn_start: now,
+            invite_branch: branch,
+            cancel_pending,
+            cancel_sent: false,
+        });
+        bytes
+    }
+
+    /// When the transport should next wake the engine if nothing arrives.
+    pub fn next_wake(&self) -> SimTime {
+        match &self.call {
+            Some(c) if c.clock.is_stopped() => c.deadline,
+            Some(c) => c.clock.next_at().min(c.deadline),
+            None => SimTime::MAX,
+        }
+    }
+
+    /// Clock tick: retransmit, keep waiting, or declare the call dead (in
+    /// which case the next call's INVITE is returned).
+    pub fn on_timer(&mut self, now: SimTime) -> EngineAction {
+        let Some(call) = &mut self.call else {
+            return EngineAction::Wait(SimTime::MAX);
+        };
+        if now >= call.deadline {
+            self.fail_call();
+            return EngineAction::Send(vec![self.start_call(now)]);
+        }
+        if call.clock.is_stopped() {
+            return EngineAction::Wait(call.deadline);
+        }
+        match call.clock.check(now) {
+            TimerVerdict::Retransmit { next } => {
+                self.stats.borrow_mut().phone_retransmits += 1;
+                let msg = call.cur_msg.clone();
+                let _ = next;
+                EngineAction::Send(vec![msg])
+            }
+            TimerVerdict::Wait { next } => EngineAction::Wait(next.min(call.deadline)),
+            TimerVerdict::TimedOut => {
+                self.fail_call();
+                EngineAction::Send(vec![self.start_call(now)])
+            }
+            TimerVerdict::Done => EngineAction::Wait(call.deadline),
+        }
+    }
+
+    fn fail_call(&mut self) {
+        self.call = None;
+        self.stats.borrow_mut().call_failures += 1;
+    }
+
+    /// Feeds a parsed response; returns what to transmit next.
+    pub fn on_response(&mut self, now: SimTime, msg: &SipMessage) -> EngineAction {
+        let Some(call) = &mut self.call else {
+            return EngineAction::Wait(SimTime::MAX);
+        };
+        let Some(code) = msg.status() else {
+            // Phones only expect responses; a request here is a protocol
+            // surprise we ignore (e.g. a very late retransmission).
+            return EngineAction::Wait(self.next_wake());
+        };
+        if msg.call_id != call.call_id {
+            return EngineAction::Wait(self.next_wake()); // stale call
+        }
+        if msg.cseq_method == Method::Cancel {
+            // The proxy's 200 to our CANCEL; the 487 follows separately.
+            return EngineAction::Wait(self.next_wake());
+        }
+        match call.phase {
+            CallPhase::AwaitInvite if msg.cseq_method == Method::Invite => {
+                if code.is_provisional() {
+                    // Any response stops INVITE retransmissions (Timer A).
+                    call.clock.stop();
+                    if call.cancel_pending && !call.cancel_sent && code == StatusCode::RINGING {
+                        // Abandon while ringing (RFC 3261 §9: CANCEL only
+                        // after a provisional response).
+                        call.cancel_sent = true;
+                        let cancel = gen::cancel(
+                            &self.party,
+                            &self.peer,
+                            &self.domain,
+                            &call.call_id,
+                            &call.invite_branch,
+                            self.transport,
+                        );
+                        return EngineAction::Send(vec![bytes_from(cancel.to_bytes())]);
+                    }
+                    return EngineAction::Wait(self.next_wake());
+                }
+                if code == StatusCode::REQUEST_TERMINATED && call.cancel_sent {
+                    // Our CANCEL won: the call ends cleanly, not as a
+                    // failure.
+                    self.call = None;
+                    self.stats.borrow_mut().calls_cancelled += 1;
+                    return EngineAction::Send(vec![self.start_call(now)]);
+                }
+                if code == StatusCode::OK {
+                    let to_tag = msg.to.tag.clone().unwrap_or_else(|| "t".into());
+                    let started = call.txn_start;
+                    self.stats.borrow_mut().record_invite(started, now);
+                    self.ops_done += 1;
+                    // Acknowledge and immediately hang up (§4.2's workload:
+                    // zero hold time, equal invites and byes).
+                    let ack = gen::ack(
+                        &self.party,
+                        &self.peer,
+                        &self.domain,
+                        &call.call_id,
+                        &to_tag,
+                        &format!("z9hG4bK{}a{}", self.party.user, self.call_no),
+                        self.transport,
+                    );
+                    let bye = gen::bye(
+                        &self.party,
+                        &self.peer,
+                        &self.domain,
+                        &call.call_id,
+                        &to_tag,
+                        &format!("z9hG4bK{}b{}", self.party.user, self.call_no),
+                        self.transport,
+                    );
+                    let bye_bytes = bytes_from(bye.to_bytes());
+                    call.phase = CallPhase::AwaitByeOk;
+                    call.clock = if self.reliable {
+                        RetransClock::reliable(now)
+                    } else {
+                        RetransClock::new(now, Method::Invite)
+                    };
+                    call.deadline = now + TIMEOUT;
+                    call.cur_msg = bye_bytes.clone();
+                    call.txn_start = now;
+                    return EngineAction::Send(vec![bytes_from(ack.to_bytes()), bye_bytes]);
+                }
+                // Final error: abandon and move on.
+                self.fail_call();
+                EngineAction::Send(vec![self.start_call(now)])
+            }
+            CallPhase::AwaitByeOk if msg.cseq_method == Method::Bye => {
+                if code == StatusCode::OK {
+                    let started = call.txn_start;
+                    self.stats.borrow_mut().record_bye(started, now);
+                    self.ops_done += 1;
+                    self.call = None;
+                    EngineAction::Send(vec![self.start_call(now)])
+                } else if code.is_provisional() {
+                    EngineAction::Wait(self.next_wake())
+                } else {
+                    self.fail_call();
+                    EngineAction::Send(vec![self.start_call(now)])
+                }
+            }
+            // Duplicate/late response for the other phase: ignore.
+            _ => EngineAction::Wait(self.next_wake()),
+        }
+    }
+}
+
+/// What a callee sends back for one request: some messages immediately,
+/// and possibly one (the 200 to an INVITE) after the ring delay.
+#[derive(Debug, Default)]
+pub struct CalleeAnswer {
+    /// Sent right away.
+    pub immediate: Vec<Bytes>,
+    /// Sent after the ring delay (the INVITE's 200 OK).
+    pub delayed_ok: Option<Bytes>,
+}
+
+/// Callee-side answering machine with an optional ring time: 180 Ringing
+/// goes out immediately; the 200 OK follows after `ring` (immediately when
+/// zero, the paper's workload).
+pub fn callee_answer_timed(
+    user: &str,
+    msg: &SipMessage,
+    ring: siperf_simcore::time::SimDuration,
+) -> CalleeAnswer {
+    let mut out = CalleeAnswer::default();
+    let Some(method) = msg.method() else {
+        return out;
+    };
+    if method == Method::Invite {
+        let to_tag = format!("tt-{user}");
+        let contact = msg.to.uri.clone();
+        out.immediate.push(bytes_from(
+            gen::response(StatusCode::RINGING, msg, Some(&to_tag), None).to_bytes(),
+        ));
+        let ok =
+            bytes_from(gen::response(StatusCode::OK, msg, Some(&to_tag), Some(contact)).to_bytes());
+        if ring.is_zero() {
+            out.immediate.push(ok);
+        } else {
+            out.delayed_ok = Some(ok);
+        }
+        return out;
+    }
+    out.immediate = callee_answer(user, msg);
+    out
+}
+
+/// Callee-side answering machine: builds the responses a phone returns for
+/// an incoming request (RFC 3261 UAS happy path with zero ring time).
+pub fn callee_answer(user: &str, msg: &SipMessage) -> Vec<Bytes> {
+    let Some(method) = msg.method() else {
+        return Vec::new(); // responses need no answer
+    };
+    let to_tag = format!("tt-{user}");
+    match method {
+        Method::Invite => {
+            let contact = msg.to.uri.clone();
+            vec![
+                bytes_from(gen::response(StatusCode::RINGING, msg, Some(&to_tag), None).to_bytes()),
+                bytes_from(
+                    gen::response(StatusCode::OK, msg, Some(&to_tag), Some(contact)).to_bytes(),
+                ),
+            ]
+        }
+        Method::Bye => vec![bytes_from(
+            gen::response(StatusCode::OK, msg, Some(&to_tag), None).to_bytes(),
+        )],
+        Method::Cancel => {
+            // 200 for the CANCEL itself, then the INVITE's final answer:
+            // 487 Request Terminated on the same branch and CSeq number
+            // (RFC 3261 §9.2 — the CANCEL carries both by construction).
+            let ok = gen::response(StatusCode::OK, msg, Some(&to_tag), None);
+            let mut terminated =
+                gen::response(StatusCode::REQUEST_TERMINATED, msg, Some(&to_tag), None);
+            terminated.cseq_method = Method::Invite;
+            vec![bytes_from(ok.to_bytes()), bytes_from(terminated.to_bytes())]
+        }
+        Method::Ack => Vec::new(),
+        // Anything else (OPTIONS, stray REGISTER) gets a polite 200.
+        _ => vec![bytes_from(
+            gen::response(StatusCode::OK, msg, Some(&to_tag), None).to_bytes(),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siperf_simcore::time::SimDuration;
+    use siperf_simnet::HostId;
+    use siperf_sip::parse::parse_message;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn cfg(reliable: bool) -> PhoneCfg {
+        PhoneCfg {
+            user: "alice".into(),
+            peer_user: "bob".into(),
+            role: Role::Caller,
+            port: 20000,
+            proxy: SockAddr::new(HostId(0), 5060),
+            domain: "sip.lab".into(),
+            transport: if reliable { "TCP" } else { "UDP" },
+            reliable,
+            call_start: t(0),
+            stagger: SimDuration::ZERO,
+            ops_per_conn: None,
+            cancel_every: None,
+            ring_delay: SimDuration::ZERO,
+            proc_ns: 500,
+            stats: WorkloadStats::new((t(0), t(1_000_000))),
+        }
+    }
+
+    fn respond(engine_msg: &Bytes, code: StatusCode) -> SipMessage {
+        let req = parse_message(engine_msg).unwrap();
+        gen::response(code, &req, Some("tt-bob"), None)
+    }
+
+    #[test]
+    fn happy_call_flow_produces_two_ops() {
+        let cfg = cfg(false);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let invite = e.start_call(t(0));
+        let inv = parse_message(&invite).unwrap();
+        assert_eq!(inv.method(), Some(Method::Invite));
+
+        // 100 then 180 stop retransmissions but complete nothing.
+        let trying = respond(&invite, StatusCode::TRYING);
+        assert!(matches!(
+            e.on_response(t(1), &trying),
+            EngineAction::Wait(_)
+        ));
+        let ringing = respond(&invite, StatusCode::RINGING);
+        assert!(matches!(
+            e.on_response(t(2), &ringing),
+            EngineAction::Wait(_)
+        ));
+
+        // 200 → ACK + BYE.
+        let ok = respond(&invite, StatusCode::OK);
+        let EngineAction::Send(msgs) = e.on_response(t(3), &ok) else {
+            panic!("expected sends");
+        };
+        assert_eq!(msgs.len(), 2);
+        let ack = parse_message(&msgs[0]).unwrap();
+        let bye = parse_message(&msgs[1]).unwrap();
+        assert_eq!(ack.method(), Some(Method::Ack));
+        assert_eq!(bye.method(), Some(Method::Bye));
+        assert_eq!(ack.to.tag.as_deref(), Some("tt-bob"));
+
+        // 200 to BYE → the next call starts.
+        let bye_ok = respond(&msgs[1], StatusCode::OK);
+        let EngineAction::Send(next) = e.on_response(t(4), &bye_ok) else {
+            panic!("expected next call");
+        };
+        let next_inv = parse_message(&next[0]).unwrap();
+        assert_eq!(next_inv.method(), Some(Method::Invite));
+        assert_ne!(next_inv.call_id, inv.call_id);
+
+        let stats = cfg.stats.borrow();
+        assert_eq!(stats.invite_ok, 1);
+        assert_eq!(stats.bye_ok, 1);
+        assert_eq!(stats.ops_total, 2);
+        assert_eq!(stats.call_attempts, 2);
+        assert_eq!(stats.call_failures, 0);
+        assert_eq!(e.ops_done, 2);
+    }
+
+    #[test]
+    fn udp_engine_retransmits_until_response() {
+        let cfg = cfg(false);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let invite = e.start_call(t(0));
+        // T1 later the clock demands a retransmission of the same INVITE.
+        assert_eq!(e.next_wake(), t(500));
+        let EngineAction::Send(msgs) = e.on_timer(t(500)) else {
+            panic!("expected retransmission");
+        };
+        assert_eq!(&*msgs[0], &*invite);
+        assert_eq!(cfg.stats.borrow().phone_retransmits, 1);
+        // A provisional response silences it.
+        let trying = respond(&invite, StatusCode::TRYING);
+        e.on_response(t(600), &trying);
+        assert!(matches!(e.on_timer(t(1500)), EngineAction::Wait(_)));
+    }
+
+    #[test]
+    fn reliable_engine_never_retransmits() {
+        let cfg = cfg(true);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let _invite = e.start_call(t(0));
+        match e.on_timer(t(5_000)) {
+            EngineAction::Wait(next) => assert_eq!(next, t(32_000)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cfg.stats.borrow().phone_retransmits, 0);
+    }
+
+    #[test]
+    fn timeout_fails_call_and_starts_next() {
+        let cfg = cfg(false);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let first = e.start_call(t(0));
+        let EngineAction::Send(next) = e.on_timer(t(32_000)) else {
+            panic!("expected new call after timeout");
+        };
+        let next_inv = parse_message(&next[0]).unwrap();
+        assert_ne!(next_inv.call_id, parse_message(&first).unwrap().call_id);
+        assert_eq!(cfg.stats.borrow().call_failures, 1);
+        assert_eq!(cfg.stats.borrow().call_attempts, 2);
+    }
+
+    #[test]
+    fn error_response_fails_call() {
+        let cfg = cfg(false);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let invite = e.start_call(t(0));
+        let busy = respond(&invite, StatusCode::BUSY_HERE);
+        let EngineAction::Send(_) = e.on_response(t(1), &busy) else {
+            panic!("expected next call");
+        };
+        assert_eq!(cfg.stats.borrow().call_failures, 1);
+    }
+
+    #[test]
+    fn stale_responses_are_ignored() {
+        let cfg = cfg(false);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let first = e.start_call(t(0));
+        // Complete the first call.
+        let ok = respond(&first, StatusCode::OK);
+        let EngineAction::Send(msgs) = e.on_response(t(1), &ok) else {
+            panic!()
+        };
+        let bye_ok = respond(&msgs[1], StatusCode::OK);
+        let EngineAction::Send(_) = e.on_response(t(2), &bye_ok) else {
+            panic!()
+        };
+        // A duplicate 200 for the finished call must not disturb call 2.
+        let dup = respond(&first, StatusCode::OK);
+        assert!(matches!(e.on_response(t(3), &dup), EngineAction::Wait(_)));
+        assert_eq!(cfg.stats.borrow().invite_ok, 1);
+    }
+
+    #[test]
+    fn cancel_flow_abandons_a_ringing_call() {
+        let mut c = cfg(false);
+        c.cancel_every = Some(1); // cancel every call
+        let mut e = CallEngine::new(&c, HostId(1));
+        let invite = e.start_call(t(0));
+        let inv = parse_message(&invite).unwrap();
+
+        // 100 Trying must not trigger the CANCEL (only RINGING does).
+        let trying = respond(&invite, StatusCode::TRYING);
+        assert!(matches!(
+            e.on_response(t(1), &trying),
+            EngineAction::Wait(_)
+        ));
+
+        // 180 Ringing → the engine fires the CANCEL, same branch.
+        let ringing = respond(&invite, StatusCode::RINGING);
+        let EngineAction::Send(msgs) = e.on_response(t(2), &ringing) else {
+            panic!("expected CANCEL");
+        };
+        let cancel = parse_message(&msgs[0]).unwrap();
+        assert_eq!(cancel.method(), Some(Method::Cancel));
+        assert_eq!(cancel.branch(), inv.branch());
+        assert_eq!(cancel.call_id, inv.call_id);
+
+        // The proxy's 200 to the CANCEL is consumed quietly.
+        let cancel_ok = gen::response(StatusCode::OK, &cancel, None, None);
+        assert!(matches!(
+            e.on_response(t(3), &cancel_ok),
+            EngineAction::Wait(_)
+        ));
+
+        // The 487 ends the call cleanly and starts the next one.
+        let mut terminated = respond(&invite, StatusCode::REQUEST_TERMINATED);
+        terminated.cseq_method = Method::Invite;
+        let EngineAction::Send(next) = e.on_response(t(4), &terminated) else {
+            panic!("expected next call");
+        };
+        assert_eq!(
+            parse_message(&next[0]).unwrap().method(),
+            Some(Method::Invite)
+        );
+        let stats = c.stats.borrow();
+        assert_eq!(stats.calls_cancelled, 1);
+        assert_eq!(stats.call_failures, 0);
+        assert_eq!(stats.invite_ok, 0, "a cancelled call completes nothing");
+    }
+
+    #[test]
+    fn callee_answers_cancel_with_200_and_487() {
+        let alice = CallParty::new("alice", "h1:1");
+        let bob = CallParty::new("bob", "h2:2");
+        let cancel = gen::cancel(&alice, &bob, "d", "c1", "z9hG4bKinv", "UDP");
+        let answers = callee_answer("bob", &cancel);
+        assert_eq!(answers.len(), 2);
+        let ok = parse_message(&answers[0]).unwrap();
+        let terminated = parse_message(&answers[1]).unwrap();
+        assert_eq!(ok.status(), Some(StatusCode::OK));
+        assert_eq!(ok.cseq_method, Method::Cancel);
+        assert_eq!(terminated.status(), Some(StatusCode::REQUEST_TERMINATED));
+        assert_eq!(
+            terminated.cseq_method,
+            Method::Invite,
+            "the 487 answers the INVITE transaction"
+        );
+        assert_eq!(terminated.branch(), cancel.branch());
+    }
+
+    #[test]
+    fn callee_answers_invite_with_ringing_then_ok() {
+        let alice = CallParty::new("alice", "h1:1");
+        let bob = CallParty::new("bob", "h2:2");
+        let inv = gen::invite(&alice, &bob, "d", "c1", "z9hG4bKz", "UDP");
+        let answers = callee_answer("bob", &inv);
+        assert_eq!(answers.len(), 2);
+        let first = parse_message(&answers[0]).unwrap();
+        let second = parse_message(&answers[1]).unwrap();
+        assert_eq!(first.status(), Some(StatusCode::RINGING));
+        assert_eq!(second.status(), Some(StatusCode::OK));
+        assert_eq!(second.to.tag.as_deref(), Some("tt-bob"));
+
+        let bye = gen::bye(&alice, &bob, "d", "c1", "tt-bob", "z9hG4bKy", "UDP");
+        let answers = callee_answer("bob", &bye);
+        assert_eq!(answers.len(), 1);
+
+        let ack = gen::ack(&alice, &bob, "d", "c1", "tt-bob", "z9hG4bKx", "UDP");
+        assert!(callee_answer("bob", &ack).is_empty());
+    }
+}

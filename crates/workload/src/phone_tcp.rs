@@ -1,0 +1,395 @@
+//! Phone process for TCP.
+//!
+//! TCP phones own real connections, exactly like the paper's benchmark
+//! (§4.3): every phone listens on its fixed port (so the proxy can open a
+//! connection *to* it when forwarding), keeps a client connection to the
+//! proxy for its own requests, **never closes connections**, and — in the
+//! non-persistent workloads — simply opens a fresh client connection after
+//! every 50 or 500 operations, abandoning the old one for the server's idle
+//! management to clean up. That abandonment is precisely what loads the
+//! §5.2 idle-scan path.
+
+use std::collections::{HashMap, VecDeque};
+
+use siperf_simcore::time::{SimDuration, SimTime};
+use siperf_simnet::endpoint::Bytes;
+use siperf_simos::process::{Process, ResumeCtx};
+use siperf_simos::syscall::{Fd, SysResult, Syscall};
+use siperf_sip::framer::StreamFramer;
+use siperf_sip::msg::Method;
+use siperf_sip::parse::parse_message;
+use siperf_sip::txn::TIMEOUT;
+
+use crate::phone::{callee_answer_timed, CallEngine, EngineAction, PhoneCfg, Role};
+
+const RECV_CHUNK: usize = 16 * 1024;
+const CONNECT_BACKOFF: SimDuration = SimDuration::from_millis(100);
+
+#[derive(Debug, Clone, Copy)]
+enum Cont {
+    Reg,
+    Call,
+    Serve,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Why {
+    /// First connection: register once it is up.
+    Register,
+    /// Reconnect (ops-per-connection policy or dead client conn); flush the
+    /// pending messages once up.
+    Flush,
+}
+
+enum Phase {
+    Start,
+    Listened,
+    Staggered,
+    Connecting(Why),
+    Backoff(Why),
+    SleepingToStart,
+    Polling(Cont),
+    Accepting(Cont),
+    Receiving(Cont, Fd),
+    Script(Cont),
+}
+
+/// A TCP phone process (caller or callee).
+pub struct TcpPhone {
+    cfg: PhoneCfg,
+    listener: Fd,
+    client: Option<Fd>,
+    framers: HashMap<Fd, StreamFramer>,
+    engine: Option<CallEngine>,
+    reg_deadline: SimTime,
+    registered: bool,
+    ops_at_conn: u64,
+    pending_out: Vec<Bytes>,
+    pending_ready: VecDeque<Fd>,
+    script: VecDeque<Syscall>,
+    phase: Phase,
+    /// Ringing calls whose 200 OK is due at the embedded instant.
+    delayed: VecDeque<(SimTime, Fd, Bytes)>,
+}
+
+impl TcpPhone {
+    /// Creates the phone process.
+    pub fn new(cfg: PhoneCfg) -> Self {
+        TcpPhone {
+            cfg,
+            listener: Fd(u32::MAX),
+            client: None,
+            framers: HashMap::new(),
+            engine: None,
+            reg_deadline: SimTime::MAX,
+            registered: false,
+            ops_at_conn: 0,
+            pending_out: Vec::new(),
+            pending_ready: VecDeque::new(),
+            script: VecDeque::new(),
+            phase: Phase::Start,
+            delayed: VecDeque::new(),
+        }
+    }
+
+    fn poll_for(&self, cont: Cont, now: SimTime) -> Syscall {
+        let timeout = match cont {
+            Cont::Reg => Some(self.reg_deadline.max(now) - now),
+            Cont::Call => {
+                let next = self.engine.as_ref().expect("caller").next_wake();
+                if next == SimTime::MAX {
+                    None
+                } else {
+                    Some(next.max(now) - now)
+                }
+            }
+            Cont::Serve => self.delayed.front().map(|&(at, _, _)| at.max(now) - now),
+        };
+        let mut fds = Vec::with_capacity(2 + self.framers.len());
+        fds.push(self.listener);
+        fds.extend(self.framers.keys().copied());
+        Syscall::Poll { fds, timeout }
+    }
+
+    fn park(&mut self, cont: Cont, now: SimTime) -> Syscall {
+        while let Some(&(at, fd, _)) = self.delayed.front() {
+            if at > now {
+                break;
+            }
+            let (_, _, bytes) = self.delayed.pop_front().expect("peeked");
+            if self.framers.contains_key(&fd) {
+                self.script.push_back(Syscall::TcpSend { fd, data: bytes });
+            }
+        }
+        if let Some(s) = self.script.pop_front() {
+            self.phase = Phase::Script(cont);
+            return s;
+        }
+        match self.pending_ready.pop_front() {
+            Some(fd) if fd == self.listener => {
+                self.phase = Phase::Accepting(cont);
+                return Syscall::TcpAccept { fd: self.listener };
+            }
+            Some(fd) if self.framers.contains_key(&fd) => {
+                self.phase = Phase::Receiving(cont, fd);
+                return Syscall::TcpRecv {
+                    fd,
+                    max: RECV_CHUNK,
+                };
+            }
+            Some(_) => return self.park(cont, now), // stale fd
+            None => {}
+        }
+        self.phase = Phase::Polling(cont);
+        self.poll_for(cont, now)
+    }
+
+    /// Queues caller-originated messages: straight onto the client
+    /// connection, or through a reconnect when the ops-per-connection
+    /// policy says so (or the connection died).
+    fn send_to_proxy(&mut self, msgs: Vec<Bytes>, now: SimTime) -> Option<Syscall> {
+        let ops_done = self.engine.as_ref().map(|e| e.ops_done).unwrap_or(0);
+        let policy_hit = self
+            .cfg
+            .ops_per_conn
+            .is_some_and(|k| ops_done - self.ops_at_conn >= k as u64);
+        if policy_hit {
+            self.cfg.stats.borrow_mut().reconnects += 1;
+        }
+        if policy_hit || self.client.is_none() {
+            // Abandon the old connection (never closed — §4.3) and carry
+            // the messages across the reconnect.
+            self.pending_out.extend(msgs);
+            self.phase = Phase::Connecting(Why::Flush);
+            return Some(Syscall::TcpConnect { to: self.cfg.proxy });
+        }
+        let fd = self.client.expect("checked above");
+        for m in msgs {
+            self.script.push_back(Syscall::TcpSend { fd, data: m });
+        }
+        let _ = now;
+        None
+    }
+
+    fn handle_engine_action(&mut self, action: EngineAction, now: SimTime) -> Syscall {
+        if let EngineAction::Send(msgs) = action {
+            if let Some(s) = self.send_to_proxy(msgs, now) {
+                return s;
+            }
+        }
+        self.park(Cont::Call, now)
+    }
+
+    fn conn_gone(&mut self, fd: Fd) {
+        self.framers.remove(&fd);
+        if self.client == Some(fd) {
+            self.client = None;
+        }
+        // §4.3's phones never *initiate* closes — live connections are
+        // abandoned for the server to reap — but once the peer has closed,
+        // the dead descriptor is released like any real client would.
+        self.script.push_back(Syscall::Close { fd });
+    }
+
+    /// Feeds framed messages from one connection through role logic.
+    fn handle_frames(
+        &mut self,
+        now: SimTime,
+        src: Fd,
+        frames: Vec<Vec<u8>>,
+        cont: Cont,
+    ) -> Syscall {
+        for raw in frames {
+            self.script.push_back(Syscall::Compute {
+                ns: self.cfg.proc_ns.max(10),
+                tag: "user/phone",
+            });
+            let Ok(msg) = parse_message(&raw) else {
+                continue;
+            };
+            match self.cfg.role {
+                Role::Caller => {
+                    if !self.registered {
+                        let is_reg_ok = msg.status().is_some_and(|c| c.is_success())
+                            && msg.cseq_method == Method::Register;
+                        if is_reg_ok {
+                            self.registered = true;
+                            self.cfg.stats.borrow_mut().register_ok += 1;
+                            self.phase = Phase::SleepingToStart;
+                            return Syscall::SleepUntil(self.cfg.call_start);
+                        }
+                        continue;
+                    }
+                    let action = self
+                        .engine
+                        .as_mut()
+                        .expect("caller engine")
+                        .on_response(now, &msg);
+                    if let EngineAction::Send(msgs) = action {
+                        if let Some(s) = self.send_to_proxy(msgs, now) {
+                            return s;
+                        }
+                    }
+                }
+                Role::Callee => {
+                    if !self.registered {
+                        let is_reg_ok = msg.status().is_some_and(|c| c.is_success())
+                            && msg.cseq_method == Method::Register;
+                        if is_reg_ok {
+                            self.registered = true;
+                            self.cfg.stats.borrow_mut().register_ok += 1;
+                        }
+                        continue;
+                    }
+                    // Answer on the connection the request arrived on
+                    // (RFC 3261 §18.2.2 for stream transports).
+                    let answer = callee_answer_timed(&self.cfg.user, &msg, self.cfg.ring_delay);
+                    for bytes in answer.immediate {
+                        self.script.push_back(Syscall::TcpSend {
+                            fd: src,
+                            data: bytes,
+                        });
+                    }
+                    if let Some(ok) = answer.delayed_ok {
+                        self.delayed.push_back((now + self.cfg.ring_delay, src, ok));
+                    }
+                }
+            }
+        }
+        let cont = if matches!(self.cfg.role, Role::Callee) {
+            Cont::Serve
+        } else {
+            cont
+        };
+        self.park(cont, now)
+    }
+}
+
+impl Process for TcpPhone {
+    fn resume(&mut self, ctx: &mut ResumeCtx, last: SysResult) -> Syscall {
+        match std::mem::replace(&mut self.phase, Phase::Start) {
+            Phase::Start => {
+                self.phase = Phase::Listened;
+                Syscall::TcpListen {
+                    port: self.cfg.port,
+                    backlog: 64,
+                }
+            }
+            Phase::Listened => {
+                self.listener = last.expect_fd();
+                self.engine = Some(CallEngine::new(&self.cfg, ctx.host));
+                self.phase = Phase::Staggered;
+                Syscall::Sleep(self.cfg.stagger)
+            }
+            Phase::Staggered => {
+                self.phase = Phase::Connecting(Why::Register);
+                Syscall::TcpConnect { to: self.cfg.proxy }
+            }
+            Phase::Connecting(why) => match last {
+                SysResult::NewFd(fd) => {
+                    self.client = Some(fd);
+                    self.framers.insert(fd, StreamFramer::new());
+                    self.ops_at_conn = self.engine.as_ref().map(|e| e.ops_done).unwrap_or(0);
+                    match why {
+                        Why::Register => {
+                            self.reg_deadline = ctx.now + TIMEOUT;
+                            let msg = self.cfg.register_msg(ctx.host);
+                            self.script.push_back(Syscall::TcpSend { fd, data: msg });
+                            self.park(Cont::Reg, ctx.now)
+                        }
+                        Why::Flush => {
+                            for m in std::mem::take(&mut self.pending_out) {
+                                self.script.push_back(Syscall::TcpSend { fd, data: m });
+                            }
+                            self.park(Cont::Call, ctx.now)
+                        }
+                    }
+                }
+                SysResult::Err(_) => {
+                    self.cfg.stats.borrow_mut().connect_errors += 1;
+                    self.phase = Phase::Backoff(why);
+                    Syscall::Sleep(CONNECT_BACKOFF)
+                }
+                other => panic!("phone connect got {other:?}"),
+            },
+            Phase::Backoff(why) => {
+                let _ = last;
+                self.phase = Phase::Connecting(why);
+                Syscall::TcpConnect { to: self.cfg.proxy }
+            }
+            Phase::SleepingToStart => {
+                let invite = self
+                    .engine
+                    .as_mut()
+                    .expect("caller engine")
+                    .start_call(ctx.now);
+                if let Some(s) = self.send_to_proxy(vec![invite], ctx.now) {
+                    return s;
+                }
+                self.park(Cont::Call, ctx.now)
+            }
+            Phase::Polling(cont) => match last {
+                SysResult::Ready(fds) => {
+                    self.pending_ready.extend(fds);
+                    self.park(cont, ctx.now)
+                }
+                SysResult::TimedOut => match cont {
+                    Cont::Reg => panic!("phone {} failed to register over TCP", self.cfg.user),
+                    Cont::Call => {
+                        let action = self
+                            .engine
+                            .as_mut()
+                            .expect("caller engine")
+                            .on_timer(ctx.now);
+                        self.handle_engine_action(action, ctx.now)
+                    }
+                    Cont::Serve => self.park(Cont::Serve, ctx.now),
+                },
+                other => panic!("phone poll got {other:?}"),
+            },
+            Phase::Accepting(cont) => {
+                match last {
+                    SysResult::Accepted { fd, .. } => {
+                        self.framers.insert(fd, StreamFramer::new());
+                    }
+                    SysResult::Err(_) => {
+                        self.cfg.stats.borrow_mut().connect_errors += 1;
+                    }
+                    other => panic!("phone accept got {other:?}"),
+                }
+                self.park(cont, ctx.now)
+            }
+            Phase::Receiving(cont, fd) => match last {
+                SysResult::Data(bytes) => {
+                    let frames = {
+                        let Some(framer) = self.framers.get_mut(&fd) else {
+                            return self.park(cont, ctx.now);
+                        };
+                        framer.push(&bytes);
+                        framer.drain_messages()
+                    };
+                    match frames {
+                        Ok(frames) => self.handle_frames(ctx.now, fd, frames, cont),
+                        Err(_) => {
+                            self.conn_gone(fd);
+                            self.park(cont, ctx.now)
+                        }
+                    }
+                }
+                SysResult::Eof | SysResult::Err(_) => {
+                    self.conn_gone(fd);
+                    self.park(cont, ctx.now)
+                }
+                other => panic!("phone recv got {other:?}"),
+            },
+            Phase::Script(cont) => {
+                if let SysResult::Err(_) = last {
+                    // A send on a dead connection; the poll loop will see
+                    // the EOF and clean up.
+                    self.cfg.stats.borrow_mut().connect_errors += 1;
+                }
+                self.park(cont, ctx.now)
+            }
+        }
+    }
+}

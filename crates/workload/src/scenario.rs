@@ -1,0 +1,387 @@
+//! Scenario construction and execution — the §4.2 benchmark methodology.
+//!
+//! A scenario stands up the paper's testbed: one four-core server, three
+//! client machines, N caller/callee pairs. Phones register during the first
+//! phase; calls begin after [`Scenario::call_start`]; throughput counts
+//! only operations completing inside the measurement window, exactly as the
+//! paper's manager measures only the second phase.
+
+use std::time::Instant;
+
+use siperf_proxy::config::{ProxyConfig, Transport};
+use siperf_proxy::core::ProxyStats;
+use siperf_proxy::spawn::spawn_proxy;
+use siperf_simcore::prelude::*;
+use siperf_simnet::addr::{HostId, SockAddr};
+use siperf_simnet::{NetConfig, NetStats};
+use siperf_simos::cost::CostModel;
+use siperf_simos::kernel::{Kernel, KernelStats};
+
+use crate::phone::{PhoneCfg, Role};
+use crate::phone_msg::{MsgPhone, MsgTransport};
+use crate::phone_tcp::TcpPhone;
+use crate::stats::WorkloadStats;
+
+/// A complete experiment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Label used in reports.
+    pub name: String,
+    /// The proxy under test.
+    pub proxy: ProxyConfig,
+    /// Caller/callee pairs ("number of clients" on the paper's x-axes).
+    pub pairs: usize,
+    /// Client machines (the paper used three).
+    pub client_hosts: usize,
+    /// Cores per client machine.
+    pub client_cores: usize,
+    /// Cores on the server (the paper's dual Opteron 280 = four).
+    pub server_cores: usize,
+    /// TCP ops-per-connection policy (`None` = persistent connections).
+    pub ops_per_conn: Option<u32>,
+    /// Cancel every k-th call while ringing (`None` = never).
+    pub cancel_every: Option<u64>,
+    /// Callee ring time before answering (zero in the paper's workload).
+    pub ring_delay: SimDuration,
+    /// When callers start dialing (registration happens before).
+    pub call_start: SimDuration,
+    /// Measurement window start (after ramp-up).
+    pub measure_from: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+    /// RNG seed; identical seeds replay identically.
+    pub seed: u64,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// Kernel cost calibration.
+    pub kernel_costs: CostModel,
+    /// CPU charged per message on phones.
+    pub phone_proc_ns: u64,
+}
+
+impl Scenario {
+    /// Starts building a scenario with the paper's defaults.
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.into(),
+                proxy: ProxyConfig::paper(Transport::Udp),
+                pairs: 100,
+                client_hosts: 3,
+                client_cores: 4,
+                server_cores: 4,
+                ops_per_conn: None,
+                cancel_every: None,
+                ring_delay: SimDuration::ZERO,
+                call_start: SimDuration::from_millis(1000),
+                measure_from: SimDuration::from_millis(2000),
+                measure: SimDuration::from_secs(8),
+                seed: 42,
+                net: NetConfig::lan(),
+                kernel_costs: CostModel::opteron_2006(),
+                phone_proc_ns: 600,
+            },
+        }
+    }
+
+    /// The measurement window in absolute virtual time.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        (
+            SimTime::ZERO + self.measure_from,
+            SimTime::ZERO + self.measure_from + self.measure,
+        )
+    }
+
+    /// Runs the scenario to completion and gathers every result surface.
+    pub fn run(&self) -> ScenarioReport {
+        let mut world = self.build_world();
+        world.kernel.run_until(self.window().1);
+        self.report(&world)
+    }
+
+    /// Builds the simulated world without running it, for tests and
+    /// examples that need to drive or inspect the kernel directly.
+    pub fn build_world(&self) -> World {
+        let wall_start = Instant::now();
+        let mut kernel = Kernel::new(self.net.clone(), self.kernel_costs.clone(), self.seed);
+        let server = kernel.add_host(self.server_cores);
+        let clients: Vec<HostId> = (0..self.client_hosts)
+            .map(|_| kernel.add_host(self.client_cores))
+            .collect();
+        let proxy = spawn_proxy(&mut kernel, server, self.proxy.clone());
+
+        let window = self.window();
+        let stats = WorkloadStats::new(window);
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0x5eed);
+        let transport = self.proxy.transport;
+        let call_start = SimTime::ZERO + self.call_start;
+
+        for i in 0..self.pairs {
+            for (k, role) in [Role::Caller, Role::Callee].into_iter().enumerate() {
+                let idx = 2 * i + k;
+                let host = clients[idx % clients.len()];
+                let (user, peer_user) = match role {
+                    Role::Caller => (format!("c{i}"), format!("e{i}")),
+                    Role::Callee => (format!("e{i}"), String::new()),
+                };
+                let cfg = PhoneCfg {
+                    user: user.clone(),
+                    peer_user,
+                    role,
+                    port: 20_000 + idx as u16,
+                    proxy: proxy.addr,
+                    domain: "sip.lab".into(),
+                    transport: transport.token(),
+                    reliable: transport.is_reliable(),
+                    call_start: call_start + SimDuration::from_nanos(rng.range_u64(0..20_000_000)),
+                    stagger: SimDuration::from_nanos(rng.range_u64(1..500_000_000)),
+                    ops_per_conn: self.ops_per_conn,
+                    cancel_every: self.cancel_every,
+                    ring_delay: self.ring_delay,
+                    proc_ns: self.phone_proc_ns,
+                    stats: stats.clone(),
+                };
+                let name = format!("phone_{user}");
+                match transport {
+                    Transport::Udp => {
+                        kernel.spawn(
+                            host,
+                            Default::default(),
+                            name,
+                            Box::new(MsgPhone::new(cfg, MsgTransport::Udp)),
+                        );
+                    }
+                    Transport::Sctp => {
+                        kernel.spawn(
+                            host,
+                            Default::default(),
+                            name,
+                            Box::new(MsgPhone::new(cfg, MsgTransport::Sctp)),
+                        );
+                    }
+                    Transport::Tcp => {
+                        kernel.spawn(host, Default::default(), name, Box::new(TcpPhone::new(cfg)));
+                    }
+                }
+            }
+        }
+
+        World {
+            kernel,
+            proxy,
+            stats,
+            server,
+            wall_start,
+        }
+    }
+
+    /// Collects the report from a (fully or partially) run world.
+    pub fn report(&self, world: &World) -> ScenarioReport {
+        let window = self.window();
+        let kernel = &world.kernel;
+        let proxy = &world.proxy;
+        let server = world.server;
+        let w = world.stats.borrow();
+        let busy = kernel.host_busy_ns(server);
+        let wall = kernel.now().as_secs_f64().max(1e-9);
+        let _ = window;
+        let lock_contention = {
+            let l = &proxy.locks;
+            [l.txn, l.usrloc, l.timer, l.conn]
+                .into_iter()
+                .map(|id| {
+                    let lock = kernel.lock(id);
+                    (lock.name, lock.contention_ratio())
+                })
+                .collect()
+        };
+        ScenarioReport {
+            name: self.name.clone(),
+            pairs: self.pairs,
+            throughput: WindowRate::new(w.ops_in_window, self.measure.as_secs_f64()),
+            ops_total: w.ops_total,
+            registered: w.register_ok,
+            call_attempts: w.call_attempts,
+            call_failures: w.call_failures,
+            calls_cancelled: w.calls_cancelled,
+            phone_retransmits: w.phone_retransmits,
+            connect_errors: w.connect_errors,
+            reconnects: w.reconnects,
+            invite_p50: w.invite_latency.percentile(50.0),
+            invite_p99: w.invite_latency.percentile(99.0),
+            bye_p50: w.bye_latency.percentile(50.0),
+            proxy: proxy.stats(),
+            open_conns: proxy.open_conns(),
+            kernel: kernel.stats(),
+            net: kernel.net().stats(),
+            server_profile: kernel.profiler(server).report(),
+            server_utilization: busy as f64 / (self.server_cores as f64 * wall * 1e9),
+            server_endpoints: kernel.net().endpoints_on(server),
+            server_time_wait: kernel.net().ports_in_time_wait(server),
+            lock_contention,
+            wall_clock_secs: world.wall_start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// A built but externally-driven simulation.
+pub struct World {
+    /// The simulated OS + network.
+    pub kernel: Kernel,
+    /// Handle over the proxy under test.
+    pub proxy: siperf_proxy::spawn::ProxyHandle,
+    /// Shared phone-side statistics.
+    pub stats: std::rc::Rc<std::cell::RefCell<WorkloadStats>>,
+    /// The server host id.
+    pub server: HostId,
+    /// When construction started (for wall-clock reporting).
+    pub wall_start: Instant,
+}
+
+/// Fluent construction for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Selects the transport (resetting proxy config to the paper's for
+    /// that transport).
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.scenario.proxy = ProxyConfig::paper(t);
+        self
+    }
+
+    /// Replaces the whole proxy configuration.
+    pub fn proxy(mut self, cfg: ProxyConfig) -> Self {
+        self.scenario.proxy = cfg;
+        self
+    }
+
+    /// Sets the number of caller/callee pairs.
+    pub fn client_pairs(mut self, pairs: usize) -> Self {
+        self.scenario.pairs = pairs;
+        self
+    }
+
+    /// Sets the TCP ops-per-connection reconnect policy.
+    pub fn ops_per_conn(mut self, ops: u32) -> Self {
+        self.scenario.ops_per_conn = Some(ops);
+        self
+    }
+
+    /// Cancels every `k`-th call while it rings (extension workload).
+    pub fn cancel_every(mut self, k: u64) -> Self {
+        self.scenario.cancel_every = Some(k);
+        self
+    }
+
+    /// Sets the callee ring time before answering.
+    pub fn ring_delay(mut self, d: SimDuration) -> Self {
+        self.scenario.ring_delay = d;
+        self
+    }
+
+    /// Measurement window length in seconds.
+    pub fn measure_secs(mut self, secs: u64) -> Self {
+        self.scenario.measure = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Overrides the network model.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.scenario.net = net;
+        self
+    }
+
+    /// Mutates the proxy configuration in place.
+    pub fn tune_proxy(mut self, f: impl FnOnce(&mut ProxyConfig)) -> Self {
+        f(&mut self.scenario.proxy);
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Scenario {
+        self.scenario
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario label.
+    pub name: String,
+    /// Caller/callee pairs driven.
+    pub pairs: usize,
+    /// Operations per second over the measurement window — the paper's
+    /// y-axis.
+    pub throughput: WindowRate,
+    /// All operations completed (including outside the window).
+    pub ops_total: u64,
+    /// Registrations acknowledged.
+    pub registered: u64,
+    /// Calls started.
+    pub call_attempts: u64,
+    /// Calls that failed or timed out.
+    pub call_failures: u64,
+    /// Calls deliberately cancelled while ringing.
+    pub calls_cancelled: u64,
+    /// Phone-side retransmissions (UDP).
+    pub phone_retransmits: u64,
+    /// Failed connects (TCP).
+    pub connect_errors: u64,
+    /// Policy-driven reconnects (TCP 50/500-ops workloads).
+    pub reconnects: u64,
+    /// Invite-transaction latency, median.
+    pub invite_p50: SimDuration,
+    /// Invite-transaction latency, 99th percentile.
+    pub invite_p99: SimDuration,
+    /// Bye-transaction latency, median.
+    pub bye_p50: SimDuration,
+    /// Proxy-side counters.
+    pub proxy: ProxyStats,
+    /// Connection objects alive at the end.
+    pub open_conns: usize,
+    /// Kernel scheduler statistics.
+    pub kernel: KernelStats,
+    /// Network statistics.
+    pub net: NetStats,
+    /// The server's CPU profile (the paper's OProfile view).
+    pub server_profile: ProfileReport,
+    /// Server CPU utilization over the whole run.
+    pub server_utilization: f64,
+    /// Live sockets on the server at the end.
+    pub server_endpoints: usize,
+    /// Server ports stuck in TIME_WAIT at the end.
+    pub server_time_wait: usize,
+    /// Contention ratio per proxy lock.
+    pub lock_contention: Vec<(&'static str, f64)>,
+    /// Host wall-clock seconds the simulation took.
+    pub wall_clock_secs: f64,
+}
+
+impl ScenarioReport {
+    /// One line for figure tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<28} {:>9.0} ops/s  fail {:>5}  p50 {:>9}  util {:>5.1}%",
+            self.name,
+            self.throughput.per_sec(),
+            self.call_failures,
+            self.invite_p50.to_string(),
+            100.0 * self.server_utilization,
+        )
+    }
+}
+
+/// The SIP address a scenario's proxy will listen on (host 0 is always the
+/// server).
+pub fn proxy_addr() -> SockAddr {
+    SockAddr::new(HostId(0), siperf_simnet::SIP_PORT)
+}

@@ -1,0 +1,148 @@
+//! Client-side measurement, as the paper's benchmark reports it (§4.2):
+//! phones report their results to the manager; throughput is operations
+//! (SIP transactions) per second over the measured phase only.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use siperf_simcore::stats::Histogram;
+use siperf_simcore::time::{SimDuration, SimTime};
+
+/// Aggregated phone-side results, shared by all phones of a run.
+#[derive(Debug)]
+pub struct WorkloadStats {
+    /// Measurement window: only operations completing inside it count.
+    pub window: (SimTime, SimTime),
+    /// Operations (invite or bye transactions) completed in the window.
+    pub ops_in_window: u64,
+    /// All completed operations, including warm-up and cool-down.
+    pub ops_total: u64,
+    /// Completed invite transactions.
+    pub invite_ok: u64,
+    /// Completed bye transactions.
+    pub bye_ok: u64,
+    /// Successful registrations.
+    pub register_ok: u64,
+    /// Calls started.
+    pub call_attempts: u64,
+    /// Calls abandoned (timeout or error response).
+    pub call_failures: u64,
+    /// Calls deliberately cancelled while ringing (extension workload).
+    pub calls_cancelled: u64,
+    /// Requests retransmitted by phones (UDP reliability).
+    pub phone_retransmits: u64,
+    /// Failed connection attempts (TCP).
+    pub connect_errors: u64,
+    /// Deliberate reconnections (the 50/500 ops-per-connection policies).
+    pub reconnects: u64,
+    /// Invite-transaction latency (INVITE sent → 200 received).
+    pub invite_latency: Histogram,
+    /// Bye-transaction latency (BYE sent → 200 received).
+    pub bye_latency: Histogram,
+}
+
+impl WorkloadStats {
+    /// Creates zeroed statistics for a measurement window.
+    pub fn new(window: (SimTime, SimTime)) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(WorkloadStats {
+            window,
+            ops_in_window: 0,
+            ops_total: 0,
+            invite_ok: 0,
+            bye_ok: 0,
+            register_ok: 0,
+            call_attempts: 0,
+            call_failures: 0,
+            calls_cancelled: 0,
+            phone_retransmits: 0,
+            connect_errors: 0,
+            reconnects: 0,
+            invite_latency: Histogram::new(),
+            bye_latency: Histogram::new(),
+        }))
+    }
+
+    /// Records a completed invite transaction.
+    pub fn record_invite(&mut self, started: SimTime, completed: SimTime) {
+        self.invite_ok += 1;
+        self.invite_latency.record(completed - started);
+        self.record_op(completed);
+    }
+
+    /// Records a completed bye transaction.
+    pub fn record_bye(&mut self, started: SimTime, completed: SimTime) {
+        self.bye_ok += 1;
+        self.bye_latency.record(completed - started);
+        self.record_op(completed);
+    }
+
+    fn record_op(&mut self, completed: SimTime) {
+        self.ops_total += 1;
+        if completed >= self.window.0 && completed < self.window.1 {
+            self.ops_in_window += 1;
+        }
+    }
+
+    /// Throughput over the window in operations per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = (self.window.1 - self.window.0).as_secs_f64();
+        self.ops_in_window as f64 / secs
+    }
+
+    /// Fraction of attempted calls that failed.
+    pub fn failure_ratio(&self) -> f64 {
+        if self.call_attempts == 0 {
+            0.0
+        } else {
+            self.call_failures as f64 / self.call_attempts as f64
+        }
+    }
+}
+
+/// Convenience constructor for a window `[start, start + len)`.
+pub fn window(start: SimTime, len: SimDuration) -> (SimTime, SimTime) {
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn only_window_ops_count_for_throughput() {
+        let stats = WorkloadStats::new((t(2), t(4)));
+        let mut s = stats.borrow_mut();
+        s.record_invite(t(1), t(1)); // before window
+        s.record_invite(t(2), t(3)); // inside
+        s.record_bye(t(3), t(3)); // inside
+        s.record_bye(t(4), t(5)); // after (window is half-open)
+        assert_eq!(s.ops_total, 4);
+        assert_eq!(s.ops_in_window, 2);
+        assert_eq!(s.throughput(), 1.0);
+        assert_eq!(s.invite_ok, 2);
+        assert_eq!(s.bye_ok, 2);
+    }
+
+    #[test]
+    fn latency_histograms_fill() {
+        let stats = WorkloadStats::new((t(0), t(10)));
+        let mut s = stats.borrow_mut();
+        s.record_invite(t(1), t(1) + SimDuration::from_millis(3));
+        assert_eq!(s.invite_latency.count(), 1);
+        assert!(s.invite_latency.mean() >= SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn failure_ratio() {
+        let stats = WorkloadStats::new((t(0), t(1)));
+        let mut s = stats.borrow_mut();
+        assert_eq!(s.failure_ratio(), 0.0);
+        s.call_attempts = 10;
+        s.call_failures = 3;
+        assert!((s.failure_ratio() - 0.3).abs() < 1e-12);
+    }
+}

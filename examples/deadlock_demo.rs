@@ -1,0 +1,71 @@
+//! The §6 deadlock, live.
+//!
+//! "When a worker process requests a connection from the supervisor
+//! process, it then blocks waiting to receive that file descriptor. If, at
+//! the same time, the supervisor process blocks waiting to send a new
+//! connection to the same worker (since the buffer at the receiver is
+//! full), the two processes will deadlock. Once the supervisor process
+//! deadlocks, no other worker can make progress either."
+//!
+//! This demo shrinks the supervisor/worker IPC buffers to one slot and
+//! drives connection churn until the cycle closes, then prints the wait-for
+//! cycle the kernel detects.
+//!
+//! Run: `cargo run --release --example deadlock_demo`
+
+use siperf::proxy::config::{ProxyConfig, Transport};
+use siperf::simcore::time::{SimDuration, SimTime};
+use siperf::workload::Scenario;
+
+fn main() {
+    println!("SIPerf deadlock demo — §6's blocking-IPC hazard\n");
+    let mut proxy = ProxyConfig::paper(Transport::Tcp);
+    proxy.ipc_capacity = 1; // one-slot unix-socket buffers
+    proxy.workers = Some(2);
+    let mut scenario = Scenario::builder("deadlock-demo")
+        .proxy(proxy)
+        .client_pairs(40)
+        .ops_per_conn(5) // heavy reconnect churn keeps assignments flowing
+        .build();
+    scenario.call_start = SimDuration::from_millis(600);
+
+    let mut world = scenario.build_world();
+    let mut last_ops = 0;
+    for ms in (250..=4000).step_by(250) {
+        world
+            .kernel
+            .run_until(SimTime::ZERO + SimDuration::from_millis(ms));
+        let ops = world.stats.borrow().ops_total;
+        let delta = ops - last_ops;
+        last_ops = ops;
+        println!(
+            "t={:>4} ms  ops so far {:>6}  (+{delta:>5})  connections {:>4}",
+            ms,
+            ops,
+            world.proxy.open_conns(),
+        );
+        if let Some(cycle) = world.kernel.find_ipc_deadlock() {
+            println!("\nDEADLOCK after {ms} ms — wait-for cycle:");
+            for pid in &cycle {
+                let blocked = world
+                    .kernel
+                    .blocked_summary()
+                    .into_iter()
+                    .find(|(p, _)| p == pid)
+                    .map(|(_, what)| what)
+                    .unwrap_or_default();
+                println!("  {:<14} {}", world.kernel.proc_name(*pid), blocked);
+            }
+            println!();
+            println!("The supervisor is stuck sending an assignment to a worker whose");
+            println!("queue is full; that worker is stuck waiting for the fd response");
+            println!("only the supervisor can send. Every other worker starves next.");
+            println!();
+            println!("§6's prescription: \"only read from sockets when the event");
+            println!("mechanism says there is something to read and only write when");
+            println!("it says there is space to write.\"");
+            return;
+        }
+    }
+    println!("\nNo deadlock this run — increase churn or shrink the buffers.");
+}

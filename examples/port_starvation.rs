@@ -1,0 +1,64 @@
+//! The §4.3 idle-timeout starvation, live.
+//!
+//! "By default, OpenSER keeps idle TCP connections open for 120 seconds …
+//! this caused the server to run out of available ports in many experiments
+//! that did not heavily reuse connections. To avoid port starvation,
+//! OpenSER was configured to keep idle TCP connections open for only 10
+//! seconds."
+//!
+//! Clients in the non-persistent workloads abandon their connections (they
+//! never close anything); only the server's idle management reclaims them.
+//! Watch the server's socket count race its descriptor budget under both
+//! timeout settings.
+//!
+//! Run: `cargo run --release --example port_starvation`
+
+use siperf::proxy::config::{ProxyConfig, Transport};
+use siperf::simcore::time::{SimDuration, SimTime};
+use siperf::simnet::NetConfig;
+use siperf::workload::Scenario;
+
+fn run(timeout: SimDuration, label: &str) {
+    let mut net = NetConfig::lan();
+    net.max_endpoints_per_host = 700; // a tight descriptor budget
+    let mut proxy = ProxyConfig::paper(Transport::Tcp).with_fd_cache();
+    proxy.idle_timeout = timeout;
+    let mut scenario = Scenario::builder(label)
+        .proxy(proxy)
+        .client_pairs(8)
+        .ops_per_conn(10)
+        .net(net)
+        .build();
+    scenario.call_start = SimDuration::from_millis(600);
+
+    println!("idle timeout = {label}");
+    let mut world = scenario.build_world();
+    for ms in [1000u64, 2000, 3000, 4000, 5000] {
+        world
+            .kernel
+            .run_until(SimTime::ZERO + SimDuration::from_millis(ms));
+        let w = world.stats.borrow();
+        println!(
+            "  t={:>4} ms  server sockets {:>4}/700  reconnects {:>5}  refused connects {:>4}  ops {:>6}",
+            ms,
+            world.kernel.net().endpoints_on(world.server),
+            w.reconnects,
+            w.connect_errors,
+            w.ops_total,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("SIPerf port/descriptor starvation demo — §4.3\n");
+    run(SimDuration::from_secs(120), "120 s (OpenSER's default)");
+    run(
+        SimDuration::from_millis(250),
+        "250 ms (aggressive reclaim, scaled-down 10 s)",
+    );
+    println!("With the long timeout, abandoned connections pile up to the budget");
+    println!("and new connections are refused; aggressive reclaim keeps the socket");
+    println!("count flat and the refusals at zero. The paper hit exactly this with");
+    println!("120 s and settled on 10 s for all experiments.");
+}

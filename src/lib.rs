@@ -1,0 +1,48 @@
+//! # SIPerf
+//!
+//! A full reproduction of *"Explaining the Impact of Network Transport
+//! Protocols on SIP Proxy Performance"* (Ram, Fedeli, Cox, Rixner; ISPASS
+//! 2008) as a simulation study in Rust.
+//!
+//! This umbrella crate re-exports every layer of the workspace so examples,
+//! integration tests, and downstream users can reach the whole system through
+//! one dependency:
+//!
+//! * [`simcore`] — deterministic discrete-event engine (time, events, RNG,
+//!   statistics, CPU profiler).
+//! * [`simos`] — simulated OS kernel: processes, preemptive priority
+//!   scheduler, blocking syscalls, bounded IPC with fd passing, spinlocks.
+//! * [`simnet`] — simulated network: hosts and links, UDP, a full TCP model
+//!   (handshake, byte streams, accept queues, ephemeral ports, TIME_WAIT),
+//!   and SCTP-style associations.
+//! * [`sip`] — the SIP protocol: messages, parser/serializer, stream
+//!   framing, and stateful-proxy transaction machinery.
+//! * [`proxy`] — the paper's subject: an OpenSER-architecture SIP proxy with
+//!   its UDP, TCP (supervisor/worker fd-passing), and SCTP modes, the
+//!   file-descriptor cache, and both idle-connection strategies.
+//! * [`workload`] — simulated phones, the benchmark manager, and the
+//!   paper's experiment definitions (Figures 3–5 plus ablations).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use siperf::workload::{Scenario, Transport};
+//!
+//! // A small UDP run: 20 caller/callee pairs for 2 simulated seconds.
+//! let report = Scenario::builder("quickstart")
+//!     .transport(Transport::Udp)
+//!     .client_pairs(20)
+//!     .measure_secs(2)
+//!     .build()
+//!     .run();
+//! assert!(report.throughput.per_sec() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use siperf_proxy as proxy;
+pub use siperf_simcore as simcore;
+pub use siperf_simnet as simnet;
+pub use siperf_simos as simos;
+pub use siperf_sip as sip;
+pub use siperf_workload as workload;

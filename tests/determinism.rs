@@ -1,0 +1,60 @@
+//! Determinism: the whole stack — kernel, network, proxy, phones — must
+//! replay bit-identically from a seed, or no figure in this repository
+//! would be reproducible.
+
+use siperf::proxy::config::Transport;
+use siperf::simcore::time::SimDuration;
+use siperf::workload::{Scenario, ScenarioReport};
+
+fn run(transport: Transport, seed: u64) -> ScenarioReport {
+    let mut s = Scenario::builder("det")
+        .transport(transport)
+        .client_pairs(6)
+        .seed(seed)
+        .build();
+    s.call_start = SimDuration::from_millis(600);
+    s.measure_from = SimDuration::from_millis(1200);
+    s.measure = SimDuration::from_millis(1000);
+    s.run()
+}
+
+fn fingerprint(r: &ScenarioReport) -> Vec<u64> {
+    vec![
+        r.throughput.ops(),
+        r.ops_total,
+        r.proxy.requests,
+        r.proxy.responses,
+        r.proxy.forwards,
+        r.proxy.txns_created,
+        r.proxy.fd_requests,
+        r.kernel.syscalls,
+        r.kernel.context_switches,
+        r.kernel.wakeups,
+        r.net.udp_sent,
+        r.net.tcp_segments,
+        r.server_profile.total_ns(),
+        r.invite_p50.as_nanos(),
+    ]
+}
+
+#[test]
+fn udp_replays_identically() {
+    let a = run(Transport::Udp, 11);
+    let b = run(Transport::Udp, 11);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn tcp_replays_identically() {
+    let a = run(Transport::Tcp, 12);
+    let b = run(Transport::Tcp, 12);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run(Transport::Udp, 1);
+    let b = run(Transport::Udp, 2);
+    // Throughputs may coincide, but the full fingerprint will not.
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}

@@ -1,0 +1,219 @@
+//! End-to-end correctness: real SIP calls complete through every proxy
+//! architecture and transport, with the statistics agreeing across layers.
+
+use siperf::proxy::config::{Arch, ProxyConfig, Transport};
+use siperf::simcore::time::SimDuration;
+use siperf::workload::Scenario;
+
+/// Shrinks a scenario to integration-test scale (debug builds are slow).
+fn small(builder: siperf::workload::ScenarioBuilder) -> siperf::workload::Scenario {
+    let mut s = builder.build();
+    s.call_start = SimDuration::from_millis(600);
+    s.measure_from = SimDuration::from_millis(1200);
+    s.measure = SimDuration::from_millis(1200);
+    s
+}
+
+#[test]
+fn udp_calls_complete_cleanly() {
+    let report = small(
+        Scenario::builder("udp-e2e")
+            .transport(Transport::Udp)
+            .client_pairs(8),
+    )
+    .run();
+    assert_eq!(report.registered, 16, "every phone registers");
+    assert_eq!(report.call_failures, 0, "no timeouts on a clean LAN");
+    assert!(report.throughput.per_sec() > 100.0);
+    // Equal numbers of invite and bye transactions (§4.2).
+    let p = &report.proxy;
+    assert!(p.requests > 0 && p.responses > 0 && p.forwards > 0);
+    assert_eq!(p.parse_errors, 0);
+    assert_eq!(p.absorbed_retrans, 0, "no loss, no retransmissions");
+    assert_eq!(report.phone_retransmits, 0);
+    // Stateful proxy created one transaction per INVITE/BYE.
+    assert!(p.txns_created >= report.ops_total);
+    // No TCP machinery in UDP mode.
+    assert_eq!(p.fd_requests, 0);
+    assert_eq!(p.conns_assigned, 0);
+}
+
+#[test]
+fn tcp_persistent_calls_complete_with_fd_passing() {
+    let report = small(
+        Scenario::builder("tcp-e2e")
+            .transport(Transport::Tcp)
+            .client_pairs(8),
+    )
+    .run();
+    assert_eq!(report.registered, 16);
+    assert_eq!(report.call_failures, 0);
+    assert!(report.throughput.per_sec() > 100.0);
+    let p = &report.proxy;
+    // Every phone's client connection was accepted and assigned.
+    assert!(p.conns_assigned >= 16, "assigned {}", p.conns_assigned);
+    // The baseline architecture requests descriptors over IPC constantly
+    // (§5.1) and never hits a cache.
+    assert!(p.fd_requests > 0, "fd requests are the TCP baseline's life");
+    assert_eq!(p.fd_cache_hits, 0, "no cache in the baseline");
+    assert_eq!(report.connect_errors, 0);
+    assert_eq!(p.parse_errors, 0);
+}
+
+#[test]
+fn tcp_fd_cache_converts_requests_to_hits() {
+    let base = small(
+        Scenario::builder("tcp-nocache")
+            .transport(Transport::Tcp)
+            .client_pairs(8)
+            .seed(3),
+    )
+    .run();
+    let cached = small(
+        Scenario::builder("tcp-cache")
+            .proxy(ProxyConfig::paper(Transport::Tcp).with_fd_cache())
+            .client_pairs(8)
+            .seed(3),
+    )
+    .run();
+    assert!(cached.proxy.fd_cache_hits > 0);
+    assert!(
+        cached.proxy.fd_requests < base.proxy.fd_requests,
+        "cache must reduce IPC: {} vs {}",
+        cached.proxy.fd_requests,
+        base.proxy.fd_requests
+    );
+    assert_eq!(cached.call_failures, 0);
+}
+
+#[test]
+fn tcp_reconnect_policy_rolls_connections() {
+    let report = small(
+        Scenario::builder("tcp-50ops")
+            .transport(Transport::Tcp)
+            .client_pairs(6)
+            .ops_per_conn(10),
+    )
+    .run();
+    assert_eq!(report.call_failures, 0);
+    assert!(report.reconnects > 0, "phones must roll connections");
+    // Churned connections exceed the initial registrations.
+    assert!(
+        report.proxy.conns_assigned > 12,
+        "assigned {}",
+        report.proxy.conns_assigned
+    );
+}
+
+#[test]
+fn sctp_calls_complete_without_connection_management() {
+    let report = small(
+        Scenario::builder("sctp-e2e")
+            .transport(Transport::Sctp)
+            .client_pairs(8),
+    )
+    .run();
+    assert_eq!(report.registered, 16);
+    assert_eq!(report.call_failures, 0);
+    assert!(report.throughput.per_sec() > 100.0);
+    let p = &report.proxy;
+    // §6: association management lives in the kernel — no supervisor
+    // machinery at the application level.
+    assert_eq!(p.fd_requests, 0);
+    assert_eq!(p.conns_assigned, 0);
+    assert!(report.net.sctp_messages > 0);
+    assert!(report.net.sctp_assocs > 0);
+}
+
+#[test]
+fn threaded_architecture_completes_without_fd_requests() {
+    let mut proxy = ProxyConfig::paper(Transport::Tcp)
+        .with_fd_cache()
+        .with_priority_queue();
+    proxy.arch = Arch::MultiThread;
+    let report = small(
+        Scenario::builder("threaded-e2e")
+            .proxy(proxy)
+            .client_pairs(8),
+    )
+    .run();
+    assert_eq!(report.registered, 16);
+    assert_eq!(report.call_failures, 0);
+    let p = &report.proxy;
+    // §6's whole point: shared descriptor table, zero fd-passing IPC.
+    assert_eq!(p.fd_requests, 0);
+    assert!(p.conns_assigned >= 16);
+    assert!(report.throughput.per_sec() > 100.0);
+}
+
+#[test]
+fn stateless_proxy_still_routes_calls() {
+    let mut proxy = ProxyConfig::paper(Transport::Udp);
+    proxy.stateful = false;
+    let report = small(Scenario::builder("stateless").proxy(proxy).client_pairs(6)).run();
+    assert_eq!(report.call_failures, 0);
+    assert!(report.throughput.per_sec() > 100.0);
+    // No transaction state, no 100 Trying, nothing to reap.
+    assert_eq!(report.proxy.txns_created, 0);
+    assert_eq!(report.proxy.absorbed_retrans, 0);
+}
+
+#[test]
+fn worker_count_override_is_respected_and_works() {
+    let mut proxy = ProxyConfig::paper(Transport::Udp);
+    proxy.workers = Some(2);
+    let report = small(
+        Scenario::builder("two-workers")
+            .proxy(proxy)
+            .client_pairs(6),
+    )
+    .run();
+    assert_eq!(report.call_failures, 0);
+    assert!(report.throughput.per_sec() > 100.0);
+}
+
+#[test]
+fn latency_percentiles_are_sane() {
+    let report = small(
+        Scenario::builder("latency")
+            .transport(Transport::Udp)
+            .client_pairs(8),
+    )
+    .run();
+    // An invite transaction crosses the proxy four times: at least a couple
+    // of one-way latencies, far below a second on an idle LAN.
+    assert!(report.invite_p50 > SimDuration::from_micros(100));
+    assert!(report.invite_p50 < SimDuration::from_millis(100));
+    assert!(report.invite_p99 >= report.invite_p50);
+    assert!(report.bye_p50 > SimDuration::from_micros(50));
+}
+
+#[test]
+fn cancelled_calls_flow_through_the_stateful_proxy() {
+    for transport in [Transport::Udp, Transport::Tcp] {
+        let report = small(
+            Scenario::builder(format!("cancel-{}", transport.token()))
+                .transport(transport)
+                .client_pairs(6)
+                .cancel_every(4)
+                .ring_delay(SimDuration::from_millis(20)),
+        )
+        .run();
+        assert!(
+            report.calls_cancelled > 0,
+            "{}: some calls must be cancelled",
+            transport.token()
+        );
+        assert_eq!(report.call_failures, 0, "{}", transport.token());
+        let p = &report.proxy;
+        assert!(p.cancels_relayed > 0, "{}", transport.token());
+        assert_eq!(
+            p.cancels_relayed,
+            p.cancel_responses_absorbed,
+            "{}: every relayed CANCEL gets its 200 back",
+            transport.token()
+        );
+        // Un-cancelled calls still complete normally.
+        assert!(report.throughput.per_sec() > 50.0, "{}", transport.token());
+    }
+}

@@ -1,0 +1,165 @@
+//! Failure-mode reproduction: the §6 blocking-IPC deadlock, the §4.3
+//! descriptor/port starvation at 120 s idle timeouts, and stateful-proxy
+//! recovery on a lossy network.
+
+use siperf::proxy::config::{ProxyConfig, Transport};
+use siperf::simcore::time::{SimDuration, SimTime};
+use siperf::simnet::NetConfig;
+use siperf::workload::Scenario;
+
+#[test]
+fn stateful_proxy_recovers_lossy_udp() {
+    let mut net = NetConfig::lan();
+    net.udp_loss = 0.03; // 3% loss: brutal for SIP without retransmission
+    let mut s = Scenario::builder("lossy-udp")
+        .transport(Transport::Udp)
+        .client_pairs(6)
+        .net(net)
+        .build();
+    s.call_start = SimDuration::from_millis(600);
+    s.measure_from = SimDuration::from_millis(1200);
+    s.measure = SimDuration::from_secs(3);
+    let report = s.run();
+
+    assert!(report.net.udp_lost > 0, "the loss model must have fired");
+    assert!(
+        report.phone_retransmits > 0 || report.proxy.retransmits_sent > 0,
+        "someone must have retransmitted"
+    );
+    // Despite loss, the overwhelming majority of calls complete: phones
+    // retransmit INVITEs and the stateful proxy retransmits forwards.
+    assert!(report.ops_total > 0);
+    let failure_ratio = report.call_failures as f64 / report.call_attempts.max(1) as f64;
+    assert!(
+        failure_ratio < 0.2,
+        "reliability machinery failed: {:.0}% of calls lost",
+        failure_ratio * 100.0
+    );
+}
+
+#[test]
+fn bounded_ipc_deadlocks_the_supervisor_architecture() {
+    // §6: "When a worker process requests a connection from the supervisor
+    // process, it then blocks waiting to receive that file descriptor. If,
+    // at the same time, the supervisor process blocks waiting to send a new
+    // connection to the same worker (since the buffer at the receiver is
+    // full), the two processes will deadlock."
+    //
+    // A one-slot assignment buffer plus a burst of new connections makes
+    // this near-certain: workers sit in blocking receives for fd responses
+    // while the supervisor sits in a blocking send of an assignment.
+    // Connection churn keeps assignments flowing while workers hold
+    // outstanding fd requests — the two halves of the cycle.
+    let mut proxy = ProxyConfig::paper(Transport::Tcp);
+    proxy.ipc_capacity = 1;
+    proxy.workers = Some(2);
+    let mut s = Scenario::builder("deadlock")
+        .proxy(proxy)
+        .client_pairs(40)
+        .ops_per_conn(5)
+        .build();
+    s.call_start = SimDuration::from_millis(600);
+    s.measure_from = SimDuration::from_millis(800);
+    s.measure = SimDuration::from_secs(2);
+
+    let mut world = s.build_world();
+    world
+        .kernel
+        .run_until(SimTime::ZERO + SimDuration::from_secs(3));
+
+    let cycle = world.kernel.find_ipc_deadlock();
+    assert!(
+        cycle.is_some(),
+        "expected the §6 supervisor/worker deadlock; blocked: {:?}",
+        world.kernel.blocked_summary()
+    );
+    let cycle = cycle.unwrap();
+    let names: Vec<&str> = cycle
+        .iter()
+        .map(|&pid| world.kernel.proc_name(pid))
+        .collect();
+    assert!(
+        names.iter().any(|n| n.contains("tcp_main")),
+        "the supervisor is part of the cycle: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.contains("tcp_worker")),
+        "a worker is part of the cycle: {names:?}"
+    );
+    // Once deadlocked, the proxy serves nothing.
+    let report = s.report(&world);
+    assert!(
+        report.throughput.per_sec() < 500.0,
+        "a deadlocked proxy cannot sustain throughput"
+    );
+}
+
+#[test]
+fn generous_ipc_buffers_avoid_the_deadlock() {
+    // The identical burst with OpenSER-sized buffers completes fine.
+    let mut proxy = ProxyConfig::paper(Transport::Tcp);
+    proxy.ipc_capacity = 256;
+    proxy.workers = Some(2);
+    let mut s = Scenario::builder("no-deadlock")
+        .proxy(proxy)
+        .client_pairs(40)
+        .ops_per_conn(5)
+        .build();
+    s.call_start = SimDuration::from_millis(600);
+    s.measure_from = SimDuration::from_millis(800);
+    s.measure = SimDuration::from_secs(1);
+    let mut world = s.build_world();
+    world.kernel.run_until(s.window().1);
+    assert!(world.kernel.find_ipc_deadlock().is_none());
+    let report = s.report(&world);
+    assert!(report.throughput.per_sec() > 100.0);
+}
+
+/// Runs the churny reconnect workload against a server with a bounded
+/// descriptor budget and the given idle timeout, returning (connect
+/// errors, throughput, live server sockets at the end).
+fn starvation_run(idle_timeout: SimDuration) -> (u64, f64, usize) {
+    let mut net = NetConfig::lan();
+    net.max_endpoints_per_host = 700;
+    let mut proxy = ProxyConfig::paper(Transport::Tcp).with_fd_cache();
+    proxy.idle_timeout = idle_timeout;
+    let mut s = Scenario::builder(format!("starvation-{idle_timeout}"))
+        .proxy(proxy)
+        .client_pairs(8)
+        .ops_per_conn(10)
+        .net(net)
+        .build();
+    s.call_start = SimDuration::from_millis(600);
+    s.measure_from = SimDuration::from_millis(1000);
+    s.measure = SimDuration::from_secs(4);
+    let report = s.run();
+    (
+        report.connect_errors,
+        report.throughput.per_sec(),
+        report.server_endpoints,
+    )
+}
+
+#[test]
+fn long_idle_timeouts_starve_the_descriptor_budget() {
+    // §4.3: with the 120 s default, abandoned connections accumulate until
+    // the server runs out of descriptors; the paper had to drop the timeout
+    // to 10 s. At test scale the churn is proportionally faster, so the
+    // "good" timeout is scaled down too — same mechanism, compressed clock.
+    let (errs_long, tput_long, open_long) = starvation_run(SimDuration::from_secs(120));
+    let (errs_short, tput_short, open_short) = starvation_run(SimDuration::from_millis(250));
+
+    assert!(
+        errs_long > 0,
+        "120 s timeout must exhaust the budget (open sockets: {open_long})"
+    );
+    assert!(
+        errs_short < errs_long / 4,
+        "aggressive closing avoids starvation: {errs_short} vs {errs_long}"
+    );
+    assert!(open_long > open_short);
+    assert!(
+        tput_short > 2.0 * tput_long,
+        "starvation costs throughput: {tput_short} vs {tput_long}"
+    );
+}
