@@ -1,0 +1,575 @@
+//! A minimal, self-contained property-testing harness exposing the subset of
+//! the `proptest` crate's API that this workspace uses.
+//!
+//! The real `proptest` crate cannot be fetched in offline environments, and
+//! vendoring all of it would dwarf the repository. This stand-in keeps the
+//! same surface — `proptest!`, `prop_compose!`, `prop_oneof!`, `Strategy`,
+//! `Just`, `any`, `proptest::collection::vec`, `proptest::option::of` — so
+//! the property tests compile and run unchanged. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` output (via the normal `assert!` machinery) but is not reduced.
+//! * **Deterministic seeding.** Each test's RNG is seeded from the test's
+//!   module path and name, so runs are bit-reproducible. Set
+//!   `PROPTEST_SEED=<u64>` to perturb the stream when hunting for cases.
+//! * **Regex strategies** (`"[a-zA-Z0-9]{1,12}"`) support only character
+//!   classes, literals, and `{m}`/`{m,n}`/`?`/`+`/`*` repetition — enough
+//!   for token-style generators, not general regexes.
+
+/// Test-runner plumbing: configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic xoshiro256++ generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Creates a generator fully determined by `seed`.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Seeds a [`TestRng`] from a test's name (stable across runs), mixed
+    /// with `PROPTEST_SEED` when set.
+    pub fn rng_for(name: &str) -> TestRng {
+        // FNV-1a over the test name keeps each property on its own stream.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                h ^= extra.wrapping_mul(0x9E3779B97F4A7C15);
+            }
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (see [`any`]).
+    pub trait Arbitrary {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.f64()
+        }
+    }
+
+    /// Strategy for the whole domain of `T` (see [`any`]).
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Strategy over all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Strategy wrapping a generation closure; used by `prop_compose!`.
+    pub struct FnStrategy<F>(pub F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use in [`Union`]; inference glue for
+    /// `prop_oneof!`.
+    pub fn boxed<T, S>(s: S) -> Box<dyn Strategy<Value = T>>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// `&str` literals act as simplified-regex string strategies.
+    ///
+    /// Supported syntax: literal characters, `[a-z0-9_]`-style classes
+    /// (ranges and singletons), and `{m}` / `{m,n}` / `?` / `*` / `+`
+    /// repetition of the preceding atom. Unsupported syntax panics.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class or a (possibly escaped) literal.
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unterminated character class")
+                        + i;
+                    let class = expand_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    let c = *chars.get(i + 1).expect("dangling escape");
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated repetition")
+                        + i;
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse::<usize>().expect("bad repetition"),
+                            n.trim().parse::<usize>().expect("bad repetition"),
+                        ),
+                        None => {
+                            let m = spec.trim().parse::<usize>().expect("bad repetition");
+                            (m, m)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if j + 2 < body.len() && body[j + 1] == '-' {
+                let (a, b) = (body[j] as u32, body[j + 2] as u32);
+                assert!(a <= b, "inverted class range");
+                for c in a..=b {
+                    set.push(char::from_u32(c).expect("bad class range"));
+                }
+                j += 3;
+            } else {
+                set.push(body[j]);
+                j += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Vector of values from `elem` with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` roughly three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The usual wildcard import surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Defines a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:tt)*)(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(
+                move |__rng: &mut $crate::test_runner::TestRng| -> $ret {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                },
+            )
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Property-scoped assertion; identical to `assert!` here (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-scoped equality assertion; identical to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-scoped inequality assertion; identical to `assert_ne!` here.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_bounds() {
+        let mut rng = crate::test_runner::rng_for("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z0-9]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("ranges");
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(5u16..9), &mut rng);
+            assert!((5..9).contains(&x));
+            let y = Strategy::generate(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro surface itself: bindings, oneof, vec, option, tuples.
+        #[test]
+        fn macro_surface_works(
+            n in 1usize..10,
+            v in crate::collection::vec(any::<u8>(), 1..5),
+            o in crate::option::of(0u32..7),
+            pick in prop_oneof![Just(1u8), Just(2u8), 3u8..5],
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            if let Some(x) = o {
+                prop_assert!(x < 7);
+            }
+            prop_assert!((1..5).contains(&pick));
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Proxy configuration: everything the paper varies, in one builder.
 
+use siperf_overload::OverloadConfig;
 use siperf_simcore::time::SimDuration;
 use siperf_simos::process::Nice;
 
@@ -161,6 +162,10 @@ pub struct ProxyConfig {
     pub txn_linger: SimDuration,
     /// Application-level cost calibration.
     pub app_costs: AppCostModel,
+    /// Overload-control policy consulted before each INVITE transaction.
+    /// The paper's proxy has none; the beyond-the-knee experiments select
+    /// one to keep goodput from collapsing past saturation.
+    pub overload: OverloadConfig,
 }
 
 impl ProxyConfig {
@@ -182,6 +187,7 @@ impl ProxyConfig {
             timer_tick: SimDuration::from_millis(500),
             txn_linger: SimDuration::from_secs(5),
             app_costs: AppCostModel::opteron_2006(),
+            overload: OverloadConfig::NoControl,
         }
     }
 
@@ -203,6 +209,12 @@ impl ProxyConfig {
     /// Applies the paper's §5.3 priority-queue fix.
     pub fn with_priority_queue(mut self) -> Self {
         self.idle_strategy = IdleStrategy::PriorityQueue;
+        self
+    }
+
+    /// Selects an overload-control policy.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
         self
     }
 }
@@ -231,6 +243,14 @@ mod tests {
             .with_priority_queue();
         assert!(fixed.fd_cache);
         assert_eq!(fixed.idle_strategy, IdleStrategy::PriorityQueue);
+    }
+
+    #[test]
+    fn overload_defaults_off_and_composes() {
+        let base = ProxyConfig::paper(Transport::Udp);
+        assert!(!base.overload.is_active(), "paper proxy has no control");
+        let controlled = base.with_overload(OverloadConfig::queue_threshold_default());
+        assert_eq!(controlled.overload.token(), "queue-threshold");
     }
 
     #[test]

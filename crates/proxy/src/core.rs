@@ -7,8 +7,9 @@
 //! simulated locks around each call into it, in exactly the order OpenSER
 //! does (§3).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
+use siperf_overload::{LoadSignals, NoControl, OverloadPolicy, Verdict};
 use siperf_simcore::time::{SimDuration, SimTime};
 use siperf_simnet::addr::SockAddr;
 use siperf_simnet::endpoint::{bytes_from, Bytes};
@@ -79,6 +80,8 @@ pub struct ProxyStats {
     pub cancel_responses_absorbed: u64,
     /// Send failures (dead connections, refused connects).
     pub send_errors: u64,
+    /// INVITEs shed by the overload policy with 503 + Retry-After.
+    pub overload_rejections: u64,
 }
 
 /// One message to put on the wire.
@@ -105,6 +108,8 @@ pub struct Plan {
     pub txn_created: bool,
     /// The message updated the location service.
     pub registered: bool,
+    /// The message was an INVITE shed by the overload policy.
+    pub rejected: bool,
 }
 
 /// What the timer process must do after one pass.
@@ -133,6 +138,11 @@ struct ProxyTxn {
     clock: RetransClock,
     completed: bool,
     reap_at: Option<SimTime>,
+    /// When the transaction was created (admission latency measurement).
+    started: SimTime,
+    /// The overload policy admitted this transaction and is owed exactly
+    /// one `on_complete` or `on_timeout`.
+    policy_tracked: bool,
 }
 
 /// Shared proxy state: location service, transaction table, stats.
@@ -148,11 +158,17 @@ pub struct ProxyCore {
     pub txn_linger: SimDuration,
     registrar: HashMap<String, Binding>,
     txn_index: HashMap<TxnKey, u64>,
-    txns: HashMap<u64, ProxyTxn>,
+    // Ordered by transaction id so `timer_pass` emits retransmissions and
+    // timeouts in a run-independent order (HashMap iteration order would
+    // leak the hasher seed into the packet schedule).
+    txns: BTreeMap<u64, ProxyTxn>,
     next_txn: u64,
     next_branch: u64,
     /// Run statistics.
     pub stats: ProxyStats,
+    policy: Box<dyn OverloadPolicy>,
+    active_txns: usize,
+    worker_backlog: Vec<usize>,
 }
 
 impl ProxyCore {
@@ -165,10 +181,43 @@ impl ProxyCore {
             txn_linger: SimDuration::from_secs(5),
             registrar: HashMap::new(),
             txn_index: HashMap::new(),
-            txns: HashMap::new(),
+            txns: BTreeMap::new(),
             next_txn: 1,
             next_branch: 1,
             stats: ProxyStats::default(),
+            policy: Box::new(NoControl),
+            active_txns: 0,
+            worker_backlog: Vec::new(),
+        }
+    }
+
+    /// Installs the overload-control policy (default: [`NoControl`]).
+    pub fn set_overload_policy(&mut self, policy: Box<dyn OverloadPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The installed policy's name token.
+    pub fn overload_policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Records the depth of worker `idx`'s input queue. Transports whose
+    /// pending messages queue in application memory (TCP workers, threads)
+    /// report here so the policy sees backlog the transaction table cannot;
+    /// UDP/SCTP workers report zero — their queueing hides in kernel socket
+    /// buffers.
+    pub fn note_worker_backlog(&mut self, idx: usize, depth: usize) {
+        if idx >= self.worker_backlog.len() {
+            self.worker_backlog.resize(idx + 1, 0);
+        }
+        self.worker_backlog[idx] = depth;
+    }
+
+    /// The load signals the policy is consulted with.
+    pub fn load_signals(&self) -> LoadSignals {
+        LoadSignals {
+            active_txns: self.active_txns,
+            worker_backlog: self.worker_backlog.iter().sum(),
         }
     }
 
@@ -320,6 +369,28 @@ impl ProxyCore {
         };
         let dst = binding.conn_hint;
 
+        // Overload admission: only new calls (stateful INVITEs) are
+        // sheddable — BYE/ACK/CANCEL complete already-accepted calls, and
+        // shedding them would destroy the goodput the policy defends. The
+        // check sits after the retransmission and registrar filters so the
+        // policy's admit/complete bookkeeping pairs 1:1 with transactions.
+        let policy_tracked = self.stateful && method == Method::Invite;
+        if policy_tracked {
+            let load = self.load_signals();
+            if let Verdict::Reject { retry_after } = self.policy.admit(now, src, &load) {
+                self.stats.overload_rejections += 1;
+                self.stats.local_replies += 1;
+                plan.rejected = true;
+                let resp = gen::service_unavailable(&msg, retry_after);
+                plan.out.push(Outgoing {
+                    bytes: bytes_from(resp.to_bytes()),
+                    dest: src,
+                    alt: None,
+                });
+                return plan;
+            }
+        }
+
         // Build the forwarded request: push our Via, spend a hop.
         let branch = self.fresh_branch();
         let mut fwd = msg.clone();
@@ -369,9 +440,12 @@ impl ProxyCore {
                     clock,
                     completed: false,
                     reap_at: None,
+                    started: now,
+                    policy_tracked,
                 },
             );
             self.stats.txns_created += 1;
+            self.active_txns += 1;
             plan.txn_created = true;
         }
 
@@ -440,7 +514,14 @@ impl ProxyCore {
             txn.clock.stop();
         } else {
             txn.clock.stop();
-            txn.completed = true;
+            if !txn.completed {
+                txn.completed = true;
+                self.active_txns -= 1;
+                if txn.policy_tracked {
+                    self.policy
+                        .on_complete(now, txn.caller_src, now - txn.started);
+                }
+            }
             txn.reap_at = Some(now + self.txn_linger);
         }
         self.stats.forwards += 1;
@@ -491,6 +572,10 @@ impl ProxyCore {
             txn.clock.stop();
             txn.reap_at = Some(now + self.txn_linger);
             self.stats.txn_timeouts += 1;
+            self.active_txns -= 1;
+            if txn.policy_tracked {
+                self.policy.on_timeout(now, txn.caller_src);
+            }
         }
         for id in reap {
             if let Some(txn) = self.txns.remove(&id) {
@@ -750,6 +835,83 @@ mod tests {
         let plan = c.handle_message(t(0), ok, b_src());
         assert!(plan.out.is_empty());
         assert_eq!(c.stats.route_failures, 1);
+    }
+
+    #[test]
+    fn overloaded_core_sheds_invites_with_503() {
+        use siperf_overload::QueueThreshold;
+        let mut c = registered_core(Transport::Udp, true);
+        // Shed at 1 active transaction, resume at 0.
+        c.set_overload_policy(Box::new(QueueThreshold::new(1, 0, 3)));
+        assert_eq!(c.overload_policy_name(), "queue-threshold");
+
+        // First INVITE admitted (level 0 < high).
+        let inv1 = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let plan = c.handle_message(t(0), inv1.clone(), a_src());
+        assert!(plan.txn_created && !plan.rejected);
+        let fwd = parse_message(&plan.out[1].bytes).unwrap();
+
+        // Second INVITE: one transaction pending → 503 with Retry-After,
+        // no transaction, nothing forwarded downstream.
+        let inv2 = gen::invite(&bob(), &alice(), "sip.lab", "c2", "z9hG4bKa2", "UDP");
+        let plan = c.handle_message(t(1), inv2.clone(), b_src());
+        assert!(plan.rejected && !plan.txn_created);
+        assert_eq!(plan.out.len(), 1);
+        let resp = parse_message(&plan.out[0].bytes).unwrap();
+        assert_eq!(resp.status(), Some(StatusCode::SERVICE_UNAVAILABLE));
+        assert_eq!(resp.retry_after, Some(3));
+        assert_eq!(plan.out[0].dest, b_src());
+        assert_eq!(c.stats.overload_rejections, 1);
+        assert_eq!(c.live_txns(), 1);
+
+        // The admitted call completes; the level drains and admission
+        // resumes — the policy saw exactly one on_complete for its Admit.
+        let ok = gen::response(StatusCode::OK, &fwd, Some("bt"), None);
+        c.handle_message(t(2), ok, b_src());
+        assert_eq!(c.load_signals().active_txns, 0);
+        let plan = c.handle_message(t(3), inv2, b_src());
+        assert!(plan.txn_created && !plan.rejected);
+    }
+
+    #[test]
+    fn shedding_never_touches_in_call_requests() {
+        use siperf_overload::QueueThreshold;
+        let mut c = registered_core(Transport::Udp, true);
+        c.set_overload_policy(Box::new(QueueThreshold::new(0, 0, 1)));
+        // Every INVITE is shed…
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        assert!(c.handle_message(t(0), inv, a_src()).rejected);
+        // …but ACK, BYE, and REGISTER still pass: they are not new calls.
+        let ack = gen::ack(&alice(), &bob(), "sip.lab", "c0", "bt", "z9hG4bKk", "UDP");
+        assert!(!c.handle_message(t(1), ack, a_src()).rejected);
+        let bye = gen::bye(&alice(), &bob(), "sip.lab", "c0", "bt", "z9hG4bKb", "UDP");
+        let plan = c.handle_message(t(2), bye, a_src());
+        assert!(!plan.rejected && plan.txn_created);
+        let reg = gen::register(&alice(), "sip.lab", 2, "z9hG4bKr2", "UDP");
+        assert!(c.handle_message(t(3), reg, a_src()).registered);
+    }
+
+    #[test]
+    fn timeouts_drain_the_active_count() {
+        let mut c = registered_core(Transport::Udp, true);
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        c.handle_message(t(0), inv, a_src());
+        assert_eq!(c.load_signals().active_txns, 1);
+        c.timer_pass(t(32_000));
+        assert_eq!(c.load_signals().active_txns, 0, "timeout completes it");
+        // Reaping later must not double-decrement.
+        c.timer_pass(t(40_000));
+        assert_eq!(c.load_signals().active_txns, 0);
+    }
+
+    #[test]
+    fn worker_backlog_reports_feed_the_load_signal() {
+        let mut c = core(Transport::Tcp, true);
+        c.note_worker_backlog(0, 7);
+        c.note_worker_backlog(3, 5);
+        assert_eq!(c.load_signals().worker_backlog, 12);
+        c.note_worker_backlog(3, 0);
+        assert_eq!(c.load_signals().worker_backlog, 7);
     }
 
     #[test]

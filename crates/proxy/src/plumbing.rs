@@ -156,6 +156,7 @@ mod tests {
             absorbed: false,
             txn_created: true,
             registered: false,
+            rejected: false,
         };
         let mut script = VecDeque::new();
         routing_script(
@@ -207,6 +208,7 @@ mod tests {
             absorbed: false,
             txn_created: true,
             registered: false,
+            rejected: false,
         };
         let mut script = VecDeque::new();
         routing_script(

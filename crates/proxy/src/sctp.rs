@@ -83,6 +83,9 @@ impl Process for SctpWorker {
                     }
                     Ok(msg) => {
                         let was_request = msg.is_request();
+                        // Overload-signal hook: like UDP, SCTP queueing
+                        // happens in the kernel association buffers, so only
+                        // the transaction count reaches the policy.
                         let plan = self.core.borrow_mut().handle_message(ctx.now, msg, from);
                         routing_script(
                             &mut self.script,

@@ -76,6 +76,7 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
         cfg.stateful,
     )));
     core.borrow_mut().txn_linger = cfg.txn_linger;
+    core.borrow_mut().set_overload_policy(cfg.overload.build());
     let conns = Rc::new(RefCell::new(match cfg.idle_strategy {
         IdleStrategy::LinearScan => ConnTable::new(),
         IdleStrategy::PriorityQueue => ConnTable::with_priority_queue(),
@@ -236,11 +237,11 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
                 Box::new(Acceptor::new(shared.clone(), notify_chans.clone())),
             );
             supervisor = Some(acceptor);
-            for i in 0..n {
+            for (i, &chan) in notify_chans.iter().enumerate() {
                 workers.push(kernel.spawn_thread(
                     cfg.worker_nice,
                     format!("worker_thread{i}"),
-                    Box::new(ThreadWorker::new(i, shared.clone(), notify_chans[i])),
+                    Box::new(ThreadWorker::new(i, shared.clone(), chan)),
                     acceptor,
                 ));
             }

@@ -555,7 +555,15 @@ impl TcpWorker {
             }
             Ok(msg) => {
                 let was_request = msg.is_request();
-                let plan = self.shared.core.borrow_mut().handle_message(now, msg, src);
+                let plan = {
+                    let mut core = self.shared.core.borrow_mut();
+                    // Overload-signal hook: messages already framed but not
+                    // yet routed are backlog the transaction table cannot
+                    // see; report before routing so admission decisions use
+                    // this worker's fresh depth.
+                    core.note_worker_backlog(self.idx, self.msg_q.len() + self.out_q.len());
+                    core.handle_message(now, msg, src)
+                };
                 let costs = self.shared.cfg.app_costs.clone();
                 routing_script(
                     &mut self.script,
@@ -854,7 +862,7 @@ impl TcpWorker {
         // Sweep the fd cache: cached descriptors whose connection object is
         // gone would otherwise pin dead sockets open forever.
         if !self.cache.is_empty() {
-            let dead: Vec<u64> = {
+            let mut dead: Vec<u64> = {
                 let conns = self.shared.conns.borrow();
                 self.cache
                     .keys()
@@ -862,6 +870,8 @@ impl TcpWorker {
                     .copied()
                     .collect()
             };
+            // Close in id order, not HashMap order, for reproducibility.
+            dead.sort_unstable();
             for conn in dead {
                 if let Some(fd) = self.cache.remove(&conn) {
                     self.script.push_back(Syscall::Close { fd });
@@ -936,6 +946,9 @@ impl TcpWorker {
             let mut fds = Vec::with_capacity(1 + self.owned.len());
             fds.push(self.assign_fd);
             fds.extend(self.owned.values().map(|o| o.fd));
+            // Poll order decides which ready connection is served first;
+            // sort so it does not depend on HashMap iteration order.
+            fds[1..].sort_unstable();
             self.phase = WkrPhase::Poll;
             return Syscall::Poll {
                 fds,

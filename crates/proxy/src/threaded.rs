@@ -343,7 +343,14 @@ impl ThreadWorker {
             }
             Ok(msg) => {
                 let was_request = msg.is_request();
-                let plan = self.shared.core.borrow_mut().handle_message(now, msg, src);
+                let plan = {
+                    let mut core = self.shared.core.borrow_mut();
+                    // Overload-signal hook: as in the process-per-worker TCP
+                    // mode, framed-but-unrouted messages are policy-visible
+                    // backlog.
+                    core.note_worker_backlog(self.idx, self.msg_q.len() + self.out_q.len());
+                    core.handle_message(now, msg, src)
+                };
                 routing_script(
                     &mut self.script,
                     &self.shared.cfg.app_costs,
@@ -522,6 +529,9 @@ impl ThreadWorker {
             let mut fds = Vec::with_capacity(1 + self.owned.len());
             fds.push(self.notify_fd);
             fds.extend(self.owned.values().map(|c| c.fd));
+            // Poll order decides which ready connection is served first;
+            // sort so it does not depend on HashMap iteration order.
+            fds[1..].sort_unstable();
             self.phase = TWkrPhase::Poll;
             return Syscall::Poll { fds, timeout: None };
         }

@@ -83,6 +83,10 @@ impl Process for UdpWorker {
                     }
                     Ok(msg) => {
                         let was_request = msg.is_request();
+                        // Overload-signal hook: UDP workers hold at most one
+                        // datagram at a time — the backlog lives in the
+                        // kernel socket buffer where OpenSER cannot see it,
+                        // so the policy gets only the transaction count.
                         let plan = self.core.borrow_mut().handle_message(ctx.now, msg, from);
                         routing_script(
                             &mut self.script,

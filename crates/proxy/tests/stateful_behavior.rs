@@ -9,7 +9,7 @@ use std::rc::Rc;
 use siperf_proxy::config::{ProxyConfig, Transport};
 use siperf_proxy::spawn::spawn_proxy;
 use siperf_simcore::time::{SimDuration, SimTime};
-use siperf_simnet::{NetConfig, SockAddr};
+use siperf_simnet::NetConfig;
 use siperf_simos::cost::CostModel;
 use siperf_simos::kernel::Kernel;
 use siperf_simos::process::{Nice, ResumeCtx};

@@ -139,10 +139,10 @@ impl Network {
         let cap = self.cfg.udp_rcv_queue;
         let mut new_assoc = false;
         if let Some(Endpoint::Sctp(e)) = self.eps.get_mut(ep) {
-            if !e.assoc.contains_key(&from) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = e.assoc.entry(from) {
                 // Receiver side of the handshake: the kernel records the
                 // association so replies flow without another setup.
-                e.assoc.insert(from, AssocState::Established);
+                slot.insert(AssocState::Established);
                 new_assoc = true;
             }
             if e.rx.len() >= cap {

@@ -507,7 +507,7 @@ mod tests {
     fn handshake_establishes_both_sides() {
         let (mut h, a, b) = Harness::new(NetConfig::lan());
         let (c, s) = h.connect_pair(a, b);
-        assert!(h.outcomes.iter().any(|o| *o == NetOutcome::ConnectOk(c)));
+        assert!(h.outcomes.contains(&NetOutcome::ConnectOk(c)));
         assert_eq!(h.net.tcp_state(s).unwrap(), TcpState::Established);
         assert_eq!(h.net.stats().tcp_established, 1);
         assert_eq!(h.net.tcp_peer_addr(s).unwrap().host, a);
@@ -523,8 +523,7 @@ mod tests {
         h.settle();
         assert!(h
             .outcomes
-            .iter()
-            .any(|o| *o == NetOutcome::ConnectErr(c, Errno::ConnRefused)));
+            .contains(&NetOutcome::ConnectErr(c, Errno::ConnRefused)));
         assert_eq!(
             h.net.tcp_state(c).unwrap(),
             TcpState::Failed(Errno::ConnRefused)
@@ -624,7 +623,7 @@ mod tests {
         let (data, _) = h.net.tcp_try_recv(s, 8).unwrap();
         assert_eq!(data.len(), 8);
         h.settle();
-        assert!(h.outcomes.iter().any(|o| *o == NetOutcome::Writable(c)));
+        assert!(h.outcomes.contains(&NetOutcome::Writable(c)));
         assert_eq!(h.net.tcp_free_window(c), 8);
         h.net.tcp_send(h.now, c, bytes_from(vec![2u8; 8])).unwrap();
     }
@@ -741,7 +740,7 @@ mod tests {
         // Client sees EOF.
         let (_, eof) = h.net.tcp_try_recv(c, 10).unwrap();
         assert!(eof);
-        assert_eq!(h.net.endpoints_on(b.into()), 0);
+        assert_eq!(h.net.endpoints_on(b), 0);
     }
 
     #[test]

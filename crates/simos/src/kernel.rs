@@ -856,7 +856,7 @@ impl Kernel {
         let Some(list) = self.poll_waiters.get_mut(&key) else {
             return;
         };
-        let pids: Vec<ProcId> = list.drain(..).collect();
+        let pids = std::mem::take(list);
         for pid in pids {
             let valid = matches!(
                 &self.procs[pid.0 as usize].state,

@@ -90,18 +90,19 @@ mod tests {
     #[test]
     fn closure_is_a_process() {
         let mut calls = 0;
-        let mut p = |_ctx: &mut ResumeCtx, _r: SysResult| {
-            calls += 1;
-            Syscall::Exit
-        };
         let mut ctx = ResumeCtx {
             now: SimTime::ZERO,
             pid: ProcId(0),
             host: HostId(0),
         };
-        let s = p.resume(&mut ctx, SysResult::Start);
-        assert!(matches!(s, Syscall::Exit));
-        drop(p);
+        {
+            let mut p = |_ctx: &mut ResumeCtx, _r: SysResult| {
+                calls += 1;
+                Syscall::Exit
+            };
+            let s = p.resume(&mut ctx, SysResult::Start);
+            assert!(matches!(s, Syscall::Exit));
+        }
         assert_eq!(calls, 1);
     }
 }

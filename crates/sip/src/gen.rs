@@ -70,6 +70,7 @@ pub fn register(
         contact: Some(party.contact()),
         max_forwards: 70,
         expires: Some(3600),
+        retry_after: None,
         extra: vec![],
         body: vec![],
     }
@@ -98,6 +99,7 @@ pub fn invite(
         contact: Some(caller.contact()),
         max_forwards: 70,
         expires: None,
+        retry_after: None,
         extra: vec![],
         body: fake_sdp(&caller.user),
     }
@@ -127,6 +129,7 @@ pub fn ack(
         contact: None,
         max_forwards: 70,
         expires: None,
+        retry_after: None,
         extra: vec![],
         body: vec![],
     }
@@ -157,6 +160,7 @@ pub fn cancel(
         contact: None,
         max_forwards: 70,
         expires: None,
+        retry_after: None,
         extra: vec![],
         body: vec![],
     }
@@ -187,6 +191,7 @@ pub fn bye(
         contact: None,
         max_forwards: 70,
         expires: None,
+        retry_after: None,
         extra: vec![],
         body: vec![],
     }
@@ -222,9 +227,19 @@ pub fn response(
         contact,
         max_forwards: 70,
         expires: request.expires,
+        retry_after: None,
         extra: vec![],
         body,
     }
+}
+
+/// Builds the overload-shedding reply: `503 Service Unavailable` with a
+/// `Retry-After` header telling the upstream to back off `retry_after`
+/// seconds before trying again (RFC 3261 §21.5.4).
+pub fn service_unavailable(request: &SipMessage, retry_after: u32) -> SipMessage {
+    let mut resp = response(StatusCode::SERVICE_UNAVAILABLE, request, None, None);
+    resp.retry_after = Some(retry_after);
+    resp
 }
 
 #[cfg(test)]
@@ -296,6 +311,18 @@ mod tests {
         let ok = response(StatusCode::OK, &inv, Some("bt1"), Some(bob.contact()));
         assert!(!ok.body.is_empty(), "2xx to INVITE carries an SDP answer");
         assert_eq!(parse_message(&ok.to_bytes()).unwrap(), ok);
+    }
+
+    #[test]
+    fn service_unavailable_carries_retry_after() {
+        let (alice, bob) = parties();
+        let inv = invite(&alice, &bob, "d", "call-3", "z9hG4bKz", "UDP");
+        let resp = service_unavailable(&inv, 7);
+        assert_eq!(resp.status(), Some(StatusCode::SERVICE_UNAVAILABLE));
+        assert_eq!(resp.retry_after, Some(7));
+        assert_eq!(resp.vias, inv.vias, "transaction identity preserved");
+        assert!(resp.body.is_empty(), "rejections carry no SDP");
+        assert_eq!(parse_message(&resp.to_bytes()).unwrap(), resp);
     }
 
     #[test]

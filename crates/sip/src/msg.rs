@@ -270,6 +270,10 @@ pub struct SipMessage {
     pub max_forwards: u32,
     /// `Expires` (registrations).
     pub expires: Option<u32>,
+    /// `Retry-After` in seconds (RFC 3261 §20.33): carried on 503
+    /// Service Unavailable when the proxy sheds load, telling the
+    /// upstream how long to back off before retrying.
+    pub retry_after: Option<u32>,
     /// Headers this model does not interpret, preserved in order.
     pub extra: Vec<(String, String)>,
     /// The body (SDP in real calls; opaque bytes here).
@@ -328,6 +332,9 @@ impl SipMessage {
         let _ = writeln!(head, "Max-Forwards: {}\r", self.max_forwards);
         if let Some(expires) = self.expires {
             let _ = writeln!(head, "Expires: {expires}\r");
+        }
+        if let Some(secs) = self.retry_after {
+            let _ = writeln!(head, "Retry-After: {secs}\r");
         }
         for (name, value) in &self.extra {
             let _ = writeln!(head, "{name}: {value}\r");
@@ -427,6 +434,7 @@ mod tests {
             contact: Some(SipUri::new("alice", "caller")),
             max_forwards: 70,
             expires: None,
+            retry_after: None,
             extra: vec![("User-Agent".into(), "siperf/0.1".into())],
             body: b"v=0 fake sdp".to_vec(),
         };
@@ -459,6 +467,7 @@ mod tests {
             contact: None,
             max_forwards: 70,
             expires: None,
+            retry_after: None,
             extra: vec![],
             body: vec![],
         };

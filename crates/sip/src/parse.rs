@@ -200,6 +200,7 @@ pub fn parse_message(buf: &[u8]) -> Result<SipMessage, ParseError> {
     let mut contact = None;
     let mut max_forwards = 70u32;
     let mut expires = None;
+    let mut retry_after = None;
     let mut content_length = None;
     let mut extra = Vec::new();
 
@@ -226,6 +227,16 @@ pub fn parse_message(buf: &[u8]) -> Result<SipMessage, ParseError> {
             }
             "expires" => {
                 expires = Some(value.parse().map_err(|_| ParseError::BadValue("Expires"))?);
+            }
+            "retry-after" => {
+                // RFC 3261 §20.33 allows a comment and parameters
+                // (`Retry-After: 5 (overload);duration=60`); the delta
+                // seconds before them are all the shedding logic needs.
+                let secs = value.split([' ', ';', '(']).next().unwrap_or("");
+                retry_after = Some(
+                    secs.parse()
+                        .map_err(|_| ParseError::BadValue("Retry-After"))?,
+                );
             }
             "content-length" => {
                 content_length = Some(
@@ -259,6 +270,7 @@ pub fn parse_message(buf: &[u8]) -> Result<SipMessage, ParseError> {
         contact,
         max_forwards,
         expires,
+        retry_after,
         extra,
         body: body[..want].to_vec(),
     })
@@ -287,6 +299,7 @@ mod tests {
             contact: Some(SipUri::new("alice", "caller")),
             max_forwards: 69,
             expires: None,
+            retry_after: None,
             extra: vec![("User-Agent".into(), "siperf".into())],
             body: b"v=0\r\no=- 0 0 IN IP4 caller\r\n".to_vec(),
         }
@@ -415,6 +428,37 @@ mod tests {
             parse_message(b"SIP/2.0 99 Low\r\n\r\n"),
             Err(ParseError::BadStartLine)
         );
+    }
+
+    #[test]
+    fn retry_after_roundtrips_and_tolerates_params() {
+        let mut msg = sample_request();
+        msg.start = StartLine::Response {
+            code: StatusCode::SERVICE_UNAVAILABLE,
+        };
+        msg.retry_after = Some(12);
+        let text = String::from_utf8(msg.to_bytes()).unwrap();
+        assert!(text.contains("Retry-After: 12\r\n"));
+        assert_eq!(parse_message(msg.to_bytes().as_slice()).unwrap(), msg);
+
+        // Comment and parameter forms parse down to the delta seconds.
+        for value in ["5 (overloaded)", "5;duration=60", "5"] {
+            let raw = format!(
+                "SIP/2.0 503 Service Unavailable\r\n\
+                 Via: SIP/2.0/UDP c:1;branch=z9hG4bK5\r\n\
+                 From: sip:a@c\r\nTo: sip:b@h\r\nCall-ID: z\r\nCSeq: 1 INVITE\r\n\
+                 Retry-After: {value}\r\nContent-Length: 0\r\n\r\n"
+            );
+            let parsed = parse_message(raw.as_bytes()).unwrap();
+            assert_eq!(parsed.retry_after, Some(5), "value {value:?}");
+        }
+        let bad = parse_message(
+            b"SIP/2.0 503 Service Unavailable\r\n\
+              Via: SIP/2.0/UDP c:1;branch=z9hG4bK5\r\n\
+              From: sip:a@c\r\nTo: sip:b@h\r\nCall-ID: z\r\nCSeq: 1 INVITE\r\n\
+              Retry-After: soon\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(bad, Err(ParseError::BadValue("Retry-After")));
     }
 
     #[test]

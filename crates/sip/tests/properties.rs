@@ -65,6 +65,7 @@ prop_compose! {
         contact in proptest::option::of(uri()),
         max_forwards in 0u32..100,
         expires in proptest::option::of(0u32..100_000),
+        retry_after in proptest::option::of(0u32..100_000),
         extra_vals in proptest::collection::vec((token(), token()), 0..3),
         body in proptest::collection::vec(any::<u8>(), 0..600),
     ) -> SipMessage {
@@ -80,7 +81,7 @@ prop_compose! {
             .collect();
         SipMessage {
             start, vias, from, to, call_id, cseq, cseq_method,
-            contact, max_forwards, expires, extra, body,
+            contact, max_forwards, expires, retry_after, extra, body,
         }
     }
 }
@@ -94,6 +95,20 @@ proptest! {
         let wire = msg.to_bytes();
         let parsed = parse_message(&wire).expect("own output must parse");
         prop_assert_eq!(parsed, msg);
+    }
+
+    /// Any Retry-After value survives the 503 generate → serialize → parse
+    /// path the overload-control subsystem rides on.
+    #[test]
+    fn retry_after_roundtrips_on_503(req in message(), secs in 0u32..1_000_000) {
+        if req.is_request() {
+            let resp = siperf_sip::gen::service_unavailable(&req, secs);
+            let wire = resp.to_bytes();
+            let parsed = parse_message(&wire).expect("own output must parse");
+            prop_assert_eq!(parsed.retry_after, Some(secs));
+            prop_assert_eq!(parsed.status(), Some(StatusCode(503)));
+            prop_assert_eq!(parsed, resp);
+        }
     }
 
     /// A stream of messages survives any segmentation: however the bytes

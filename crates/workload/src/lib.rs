@@ -43,5 +43,6 @@ pub mod stats;
 
 pub use experiments::{FigureConfig, TransportWorkload, CLIENT_COUNTS};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioReport};
+pub use siperf_overload::OverloadConfig;
 pub use siperf_proxy::config::{Arch, IdleStrategy, ProxyConfig, Transport};
 pub use stats::WorkloadStats;

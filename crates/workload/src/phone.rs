@@ -11,7 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use siperf_simcore::time::SimTime;
+use siperf_simcore::time::{SimDuration, SimTime};
 use siperf_simnet::addr::SockAddr;
 use siperf_simnet::endpoint::{bytes_from, Bytes};
 use siperf_sip::gen::{self, CallParty};
@@ -19,6 +19,13 @@ use siperf_sip::msg::{Method, SipMessage, StatusCode};
 use siperf_sip::txn::{RetransClock, TimerVerdict, TIMEOUT};
 
 use crate::stats::WorkloadStats;
+
+/// Ceiling on the 503 retry backoff in seconds, however many rejections
+/// pile up and whatever `Retry-After` the proxy advertises.
+pub const REJECT_BACKOFF_CAP_SECS: u64 = 8;
+
+/// [`REJECT_BACKOFF_CAP_SECS`] as a duration.
+pub const REJECT_BACKOFF_CAP: SimDuration = SimDuration::from_secs(REJECT_BACKOFF_CAP_SECS);
 
 /// Whether a phone initiates calls or answers them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +135,11 @@ pub struct CallEngine {
     stats: Rc<RefCell<WorkloadStats>>,
     call_no: u64,
     call: Option<CallCtx>,
+    /// Set while backing off after a 503: no call is in flight and the
+    /// next one may not start before this instant.
+    backoff_until: Option<SimTime>,
+    /// Consecutive 503s without an admitted call (backoff exponent).
+    consecutive_rejects: u32,
     /// Operations completed since the engine started (drives reconnects).
     pub ops_done: u64,
 }
@@ -145,6 +157,8 @@ impl CallEngine {
             stats: cfg.stats.clone(),
             call_no: 0,
             call: None,
+            backoff_until: None,
+            consecutive_rejects: 0,
             ops_done: 0,
         }
     }
@@ -171,8 +185,11 @@ impl CallEngine {
             self.transport,
         );
         let bytes = bytes_from(invite.to_bytes());
-        self.stats.borrow_mut().call_attempts += 1;
-        let cancel_pending = self.cancel_every.is_some_and(|k| self.call_no % k == 0);
+        self.stats.borrow_mut().record_attempt(now);
+        self.backoff_until = None;
+        let cancel_pending = self
+            .cancel_every
+            .is_some_and(|k| self.call_no.is_multiple_of(k));
         self.call = Some(CallCtx {
             call_id,
             phase: CallPhase::AwaitInvite,
@@ -192,7 +209,7 @@ impl CallEngine {
         match &self.call {
             Some(c) if c.clock.is_stopped() => c.deadline,
             Some(c) => c.clock.next_at().min(c.deadline),
-            None => SimTime::MAX,
+            None => self.backoff_until.unwrap_or(SimTime::MAX),
         }
     }
 
@@ -200,7 +217,17 @@ impl CallEngine {
     /// which case the next call's INVITE is returned).
     pub fn on_timer(&mut self, now: SimTime) -> EngineAction {
         let Some(call) = &mut self.call else {
-            return EngineAction::Wait(SimTime::MAX);
+            // Between calls only the 503 backoff can be pending; once it
+            // expires the phone retries (the amplification the counters
+            // measure).
+            return match self.backoff_until {
+                Some(until) if now >= until => {
+                    self.stats.borrow_mut().rejection_retries += 1;
+                    EngineAction::Send(vec![self.start_call(now)])
+                }
+                Some(until) => EngineAction::Wait(until),
+                None => EngineAction::Wait(SimTime::MAX),
+            };
         };
         if now >= call.deadline {
             self.fail_call();
@@ -275,10 +302,28 @@ impl CallEngine {
                     self.stats.borrow_mut().calls_cancelled += 1;
                     return EngineAction::Send(vec![self.start_call(now)]);
                 }
+                if code == StatusCode::SERVICE_UNAVAILABLE {
+                    // The proxy shed us. Honor Retry-After with capped
+                    // exponential backoff: the advertised wait doubles per
+                    // consecutive rejection so a persistently overloaded
+                    // proxy sees the retry rate fall instead of a
+                    // synchronized stampede every Retry-After period.
+                    let base = u64::from(msg.retry_after.unwrap_or(1).max(1));
+                    let shifted = base
+                        .checked_shl(self.consecutive_rejects.min(16))
+                        .unwrap_or(u64::MAX);
+                    let delay = SimDuration::from_secs(shifted.min(REJECT_BACKOFF_CAP_SECS));
+                    self.consecutive_rejects = self.consecutive_rejects.saturating_add(1);
+                    self.call = None;
+                    self.backoff_until = Some(now + delay);
+                    self.stats.borrow_mut().record_rejection(now);
+                    return EngineAction::Wait(now + delay);
+                }
                 if code == StatusCode::OK {
                     let to_tag = msg.to.tag.clone().unwrap_or_else(|| "t".into());
                     let started = call.txn_start;
                     self.stats.borrow_mut().record_invite(started, now);
+                    self.consecutive_rejects = 0;
                     self.ops_done += 1;
                     // Acknowledge and immediately hang up (§4.2's workload:
                     // zero hold time, equal invites and byes).
@@ -575,6 +620,72 @@ mod tests {
         let dup = respond(&first, StatusCode::OK);
         assert!(matches!(e.on_response(t(3), &dup), EngineAction::Wait(_)));
         assert_eq!(cfg.stats.borrow().invite_ok, 1);
+    }
+
+    #[test]
+    fn rejected_call_backs_off_per_retry_after_then_retries() {
+        let cfg = cfg(false);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let invite = e.start_call(t(0));
+        let req = parse_message(&invite).unwrap();
+
+        // 503 + Retry-After: 2 → back off two seconds, no failure counted.
+        let rejected = gen::service_unavailable(&req, 2);
+        let EngineAction::Wait(until) = e.on_response(t(100), &rejected) else {
+            panic!("expected backoff wait");
+        };
+        assert_eq!(until, t(2_100));
+        assert_eq!(e.next_wake(), t(2_100));
+        {
+            let s = cfg.stats.borrow();
+            assert_eq!(s.calls_rejected, 1);
+            assert_eq!(s.call_failures, 0, "a shed call is not a failure");
+        }
+
+        // Waking early keeps waiting; at the deadline the retry fires.
+        assert!(matches!(e.on_timer(t(1_000)), EngineAction::Wait(_)));
+        let EngineAction::Send(msgs) = e.on_timer(t(2_100)) else {
+            panic!("expected retry INVITE");
+        };
+        let retry = parse_message(&msgs[0]).unwrap();
+        assert_eq!(retry.method(), Some(Method::Invite));
+        assert_ne!(retry.call_id, req.call_id, "retry is a fresh call");
+        let s = cfg.stats.borrow();
+        assert_eq!(s.rejection_retries, 1);
+        assert_eq!(s.call_attempts, 2);
+    }
+
+    #[test]
+    fn repeated_rejections_double_the_backoff_up_to_the_cap() {
+        let cfg = cfg(false);
+        let mut e = CallEngine::new(&cfg, HostId(1));
+        let mut now = t(0);
+        let mut delays = Vec::new();
+        for _ in 0..5 {
+            let invite = e.start_call(now);
+            let req = parse_message(&invite).unwrap();
+            let rejected = gen::service_unavailable(&req, 1);
+            let EngineAction::Wait(until) = e.on_response(now, &rejected) else {
+                panic!("expected backoff");
+            };
+            delays.push((until - now).as_secs_f64());
+            now = until;
+        }
+        assert_eq!(delays, vec![1.0, 2.0, 4.0, 8.0, 8.0], "doubling, capped");
+
+        // An admitted, completed call resets the exponent.
+        let invite = e.start_call(now);
+        let ok = respond(&invite, StatusCode::OK);
+        let EngineAction::Send(_) = e.on_response(now, &ok) else {
+            panic!("expected ACK+BYE");
+        };
+        let invite = e.start_call(now);
+        let req = parse_message(&invite).unwrap();
+        let rejected = gen::service_unavailable(&req, 1);
+        let EngineAction::Wait(until) = e.on_response(now, &rejected) else {
+            panic!("expected backoff");
+        };
+        assert_eq!((until - now).as_secs_f64(), 1.0, "exponent was reset");
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum MsgTransport {
     Sctp,
 }
 
+// The shared postfix is the point: each variant names which poll loop the
+// process resumes into.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy)]
 enum Cont {
     RegPoll,

@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use siperf_overload::OverloadConfig;
 use siperf_proxy::config::{ProxyConfig, Transport};
 use siperf_proxy::core::ProxyStats;
 use siperf_proxy::spawn::spawn_proxy;
@@ -199,10 +200,13 @@ impl Scenario {
             name: self.name.clone(),
             pairs: self.pairs,
             throughput: WindowRate::new(w.ops_in_window, self.measure.as_secs_f64()),
+            offered: WindowRate::new(w.attempts_in_window, self.measure.as_secs_f64()),
             ops_total: w.ops_total,
             registered: w.register_ok,
             call_attempts: w.call_attempts,
             call_failures: w.call_failures,
+            calls_rejected: w.calls_rejected,
+            rejection_retries: w.rejection_retries,
             calls_cancelled: w.calls_cancelled,
             phone_retransmits: w.phone_retransmits,
             connect_errors: w.connect_errors,
@@ -255,6 +259,14 @@ impl ScenarioBuilder {
     /// Replaces the whole proxy configuration.
     pub fn proxy(mut self, cfg: ProxyConfig) -> Self {
         self.scenario.proxy = cfg;
+        self
+    }
+
+    /// Selects the proxy's overload-control policy for this run. Call
+    /// after [`transport`](Self::transport), which resets the proxy
+    /// configuration.
+    pub fn overload_policy(mut self, policy: OverloadConfig) -> Self {
+        self.scenario.proxy.overload = policy;
         self
     }
 
@@ -320,8 +332,12 @@ pub struct ScenarioReport {
     /// Caller/callee pairs driven.
     pub pairs: usize,
     /// Operations per second over the measurement window — the paper's
-    /// y-axis.
+    /// y-axis. Only completed transactions count, so past the saturation
+    /// knee this is the run's *goodput*.
     pub throughput: WindowRate,
+    /// Call attempts started per second over the window — the *offered*
+    /// load the goodput curves plot against.
+    pub offered: WindowRate,
     /// All operations completed (including outside the window).
     pub ops_total: u64,
     /// Registrations acknowledged.
@@ -330,6 +346,10 @@ pub struct ScenarioReport {
     pub call_attempts: u64,
     /// Calls that failed or timed out.
     pub call_failures: u64,
+    /// Calls the proxy shed with `503 Service Unavailable`.
+    pub calls_rejected: u64,
+    /// Calls re-attempted after a 503 backoff expired.
+    pub rejection_retries: u64,
     /// Calls deliberately cancelled while ringing.
     pub calls_cancelled: u64,
     /// Phone-side retransmissions (UDP).

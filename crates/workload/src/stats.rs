@@ -25,8 +25,18 @@ pub struct WorkloadStats {
     pub register_ok: u64,
     /// Calls started.
     pub call_attempts: u64,
+    /// Call attempts started inside the window (the *offered* load the
+    /// goodput-vs-offered curves plot against).
+    pub attempts_in_window: u64,
     /// Calls abandoned (timeout or error response).
     pub call_failures: u64,
+    /// Calls shed by the proxy with `503 Service Unavailable`.
+    pub calls_rejected: u64,
+    /// Rejections whose 503 arrived inside the window.
+    pub rejected_in_window: u64,
+    /// Calls re-attempted after a 503 backoff expired (the retry
+    /// amplification overload control adds to the offered load).
+    pub rejection_retries: u64,
     /// Calls deliberately cancelled while ringing (extension workload).
     pub calls_cancelled: u64,
     /// Requests retransmitted by phones (UDP reliability).
@@ -52,7 +62,11 @@ impl WorkloadStats {
             bye_ok: 0,
             register_ok: 0,
             call_attempts: 0,
+            attempts_in_window: 0,
             call_failures: 0,
+            calls_rejected: 0,
+            rejected_in_window: 0,
+            rejection_retries: 0,
             calls_cancelled: 0,
             phone_retransmits: 0,
             connect_errors: 0,
@@ -78,8 +92,28 @@ impl WorkloadStats {
 
     fn record_op(&mut self, completed: SimTime) {
         self.ops_total += 1;
-        if completed >= self.window.0 && completed < self.window.1 {
+        if self.in_window(completed) {
             self.ops_in_window += 1;
+        }
+    }
+
+    fn in_window(&self, at: SimTime) -> bool {
+        at >= self.window.0 && at < self.window.1
+    }
+
+    /// Records one started call attempt.
+    pub fn record_attempt(&mut self, at: SimTime) {
+        self.call_attempts += 1;
+        if self.in_window(at) {
+            self.attempts_in_window += 1;
+        }
+    }
+
+    /// Records a call the proxy shed with a 503.
+    pub fn record_rejection(&mut self, at: SimTime) {
+        self.calls_rejected += 1;
+        if self.in_window(at) {
+            self.rejected_in_window += 1;
         }
     }
 
@@ -96,6 +130,20 @@ impl WorkloadStats {
         } else {
             self.call_failures as f64 / self.call_attempts as f64
         }
+    }
+
+    /// Goodput: completed transactions per second over the window. Under a
+    /// closed loop only successes reach `ops_in_window`, so this *is* the
+    /// throughput number — the name marks the contrast with the offered
+    /// rate when the proxy sheds or fails calls.
+    pub fn goodput(&self) -> f64 {
+        self.throughput()
+    }
+
+    /// Offered load: call attempts started per second over the window.
+    pub fn offered_rate(&self) -> f64 {
+        let secs = (self.window.1 - self.window.0).as_secs_f64();
+        self.attempts_in_window as f64 / secs
     }
 }
 

@@ -59,8 +59,8 @@ fn main() {
 
     let mut udp_tput = None;
     println!(
-        "{:<34} {:>10} {:>8} {:>10}  {}",
-        "architecture", "ops/s", "%UDP", "p50", "notes"
+        "{:<34} {:>10} {:>8} {:>10}  notes",
+        "architecture", "ops/s", "%UDP", "p50"
     );
     for c in contenders {
         let report = Scenario::builder(c.name)

@@ -20,6 +20,9 @@
 //! * [`proxy`] — the paper's subject: an OpenSER-architecture SIP proxy with
 //!   its UDP, TCP (supervisor/worker fd-passing), and SCTP modes, the
 //!   file-descriptor cache, and both idle-connection strategies.
+//! * [`overload`] — pluggable overload-control policies (queue-threshold
+//!   shedding, receiver-driven windows) the proxy consults before admitting
+//!   new calls, for the beyond-the-knee experiments.
 //! * [`workload`] — simulated phones, the benchmark manager, and the
 //!   paper's experiment definitions (Figures 3–5 plus ablations).
 //!
@@ -40,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub use siperf_overload as overload;
 pub use siperf_proxy as proxy;
 pub use siperf_simcore as simcore;
 pub use siperf_simnet as simnet;

@@ -3,9 +3,107 @@
 //! throughput pinned at saturation, latency growing with the queue, no
 //! crashes, every loss accounted for.
 
+use siperf::overload::OverloadConfig;
 use siperf::proxy::config::Transport;
 use siperf::simcore::time::SimDuration;
-use siperf::workload::Scenario;
+use siperf::workload::{Scenario, ScenarioReport};
+
+/// One overloaded run (~2x the saturation knee) with the same timing the
+/// saturation tests use, under the given admission policy.
+fn run_overloaded(transport: Transport, policy: OverloadConfig) -> ScenarioReport {
+    let mut s = Scenario::builder(format!("{transport:?}-{}", policy.token()))
+        .transport(transport)
+        .overload_policy(policy)
+        .client_pairs(1200)
+        .build();
+    s.call_start = SimDuration::from_millis(700);
+    s.measure_from = SimDuration::from_millis(1500);
+    s.measure = SimDuration::from_millis(1500);
+    s.run()
+}
+
+/// Every rejection is accounted for, nothing is silently lost: attempts =
+/// completed calls + failures + cancels + shed calls + calls still in
+/// flight when the clock stopped (≤ one per caller), and the phones never
+/// saw more 503s than the policy issued.
+fn assert_rejections_accounted(r: &ScenarioReport) {
+    assert!(
+        r.proxy.overload_rejections >= r.calls_rejected,
+        "phones saw {} rejections but the policy only issued {}",
+        r.calls_rejected,
+        r.proxy.overload_rejections
+    );
+    let accounted = r.ops_total / 2 + r.call_failures + r.calls_cancelled + r.calls_rejected + 1200;
+    assert!(
+        r.call_attempts <= accounted,
+        "attempts {} vs accounted {}",
+        r.call_attempts,
+        accounted
+    );
+}
+
+#[test]
+fn udp_admission_control_holds_goodput_and_bounds_latency_at_2x() {
+    let base = run_overloaded(Transport::Udp, OverloadConfig::NoControl);
+    let ctl = run_overloaded(Transport::Udp, OverloadConfig::queue_threshold_default());
+
+    // The policy is actually shedding at this load…
+    assert!(ctl.calls_rejected > 0, "no 503s at 2x capacity");
+    // …and phones come back after their Retry-After backoff.
+    assert!(ctl.rejection_retries > 0, "no retries after 503 backoff");
+    // Goodput stays within 20% of the uncontrolled saturation peak: the
+    // excess is converted into cheap 503s, not lost capacity.
+    assert!(
+        ctl.throughput.per_sec() >= 0.8 * base.throughput.per_sec(),
+        "controlled goodput {:.0} fell >20% below saturation {:.0}",
+        ctl.throughput.per_sec(),
+        base.throughput.per_sec()
+    );
+    // The admission threshold caps the pending queue, so latency is
+    // bounded below the uncontrolled queueing delay.
+    assert!(
+        ctl.invite_p50 < base.invite_p50,
+        "controlled p50 {} not below uncontrolled {}",
+        ctl.invite_p50,
+        base.invite_p50
+    );
+    assert_rejections_accounted(&ctl);
+    // The uncontrolled run sheds nothing — the contrast is real.
+    assert_eq!(base.calls_rejected, 0);
+    assert_eq!(base.proxy.overload_rejections, 0);
+}
+
+#[test]
+fn tcp_admission_control_rejects_early_instead_of_queueing() {
+    let base = run_overloaded(Transport::Tcp, OverloadConfig::NoControl);
+    let ctl = run_overloaded(Transport::Tcp, OverloadConfig::queue_threshold_default());
+
+    // With control the proxy says no up front…
+    assert!(ctl.calls_rejected > 0, "TCP control shed nothing at 2x");
+    // …instead of parking the excess in queues: admitted calls finish
+    // faster than under the uncontrolled backlog.
+    assert!(
+        ctl.invite_p50 < base.invite_p50,
+        "controlled p50 {} not below uncontrolled {}",
+        ctl.invite_p50,
+        base.invite_p50
+    );
+    assert_eq!(ctl.proxy.parse_errors, 0);
+    assert_rejections_accounted(&ctl);
+    assert_eq!(base.calls_rejected, 0);
+}
+
+#[test]
+fn window_feedback_sheds_and_keeps_goodput_at_2x() {
+    let ctl = run_overloaded(Transport::Udp, OverloadConfig::window_feedback_default());
+    assert!(ctl.calls_rejected > 0, "window feedback shed nothing at 2x");
+    assert!(
+        ctl.throughput.per_sec() > 25_000.0,
+        "goodput collapsed under window feedback: {:.0}",
+        ctl.throughput.per_sec()
+    );
+    assert_rejections_accounted(&ctl);
+}
 
 #[test]
 fn udp_overload_saturates_gracefully() {
