@@ -170,6 +170,20 @@ impl ConnTable {
         }
     }
 
+    /// Connections currently owned (not yet returned) by `worker`, in id
+    /// order — the supervisor uses this to re-assign a respawned worker's
+    /// orphaned connections deterministically.
+    pub fn owned_by(&self, worker: usize) -> Vec<ConnId> {
+        let mut ids: Vec<ConnId> = self
+            .by_id
+            .values()
+            .filter(|o| o.owner == worker && o.returned_at.is_none())
+            .map(|o| o.id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
     /// Destroys a connection object.
     pub fn remove(&mut self, id: ConnId) -> Option<ConnObj> {
         let obj = self.by_id.remove(&id.0)?;

@@ -82,6 +82,10 @@ pub struct ProxyStats {
     pub send_errors: u64,
     /// INVITEs shed by the overload policy with 503 + Retry-After.
     pub overload_rejections: u64,
+    /// Worker processes killed and respawned by fault injection.
+    pub workers_respawned: u64,
+    /// Connections re-assigned to a respawned worker by the supervisor.
+    pub conns_reassigned: u64,
 }
 
 /// One message to put on the wire.

@@ -13,12 +13,14 @@ use siperf_simos::kernel::Kernel;
 use siperf_simos::process::ProcId;
 use siperf_simos::syscall::Fd;
 
+use siperf_simos::ipc::ChanId;
+
 use crate::config::{Arch, IdleStrategy, ProxyConfig, Transport};
 use crate::conn::ConnTable;
 use crate::core::{ProxyCore, ProxyStats};
 use crate::plumbing::Locks;
 use crate::sctp::SctpWorker;
-use crate::tcp::{Supervisor, TcpShared, TcpWorker};
+use crate::tcp::{Supervisor, SupervisorCtl, TcpShared, TcpWorker};
 use crate::threaded::{Acceptor, ThreadShared, ThreadWorker};
 use crate::timer::TimerProc;
 use crate::udp::UdpWorker;
@@ -26,6 +28,27 @@ use crate::util::addr_to_host_str;
 
 /// Number of striped per-connection write locks in the threaded mode.
 const WRITE_LOCK_STRIPES: usize = 16;
+
+/// Architecture-specific state the fault-injection respawn path needs to
+/// rebuild a crashed process in place.
+enum RespawnCtx {
+    /// UDP/SCTP symmetric workers: each worker's shared-socket descriptor
+    /// slot (SCTP keeps one extra trailing slot for the timer process,
+    /// which then doubles as a donor descriptor).
+    Msg { slots: Vec<Rc<Cell<Option<Fd>>>> },
+    /// TCP multi-process: everything a `TcpWorker`/`Supervisor` is built
+    /// from.
+    TcpMulti {
+        shared: TcpShared,
+        assign_chans: Vec<ChanId>,
+        req_chans: Vec<ChanId>,
+    },
+    /// TCP multi-thread: worker threads hang off the acceptor.
+    TcpThread {
+        shared: ThreadShared,
+        notify_chans: Vec<ChanId>,
+    },
+}
 
 /// Observer handle over a spawned proxy.
 pub struct ProxyHandle {
@@ -47,6 +70,7 @@ pub struct ProxyHandle {
     pub timer: Option<ProcId>,
     /// The configuration the proxy was spawned with.
     pub cfg: Rc<ProxyConfig>,
+    respawn: RespawnCtx,
 }
 
 impl ProxyHandle {
@@ -58,6 +82,147 @@ impl ProxyHandle {
     /// Live connection-object count.
     pub fn open_conns(&self) -> usize {
         self.conns.borrow().len()
+    }
+
+    /// Crashes worker `idx` (wrapping) and respawns a replacement in place,
+    /// exactly as OpenSER's main process re-forks a dead child.
+    ///
+    /// Under UDP/SCTP the replacement inherits the shared SIP socket from a
+    /// surviving sibling (or rebinds it if none survived). Under the TCP
+    /// multi-process architecture the supervisor is notified and re-assigns
+    /// the dead worker's connections to the replacement over IPC. Returns
+    /// the new worker's pid.
+    pub fn respawn_worker(&mut self, kernel: &mut Kernel, idx: usize) -> ProcId {
+        let idx = idx % self.workers.len();
+        kernel.kill(self.workers[idx]);
+        let pid = match &mut self.respawn {
+            RespawnCtx::Msg { slots } => {
+                let slot: Rc<Cell<Option<Fd>>> = Rc::new(Cell::new(None));
+                let (proc_box, name): (Box<dyn siperf_simos::process::Process>, String) =
+                    match self.cfg.transport {
+                        Transport::Udp => (
+                            Box::new(UdpWorker::new(
+                                self.core.clone(),
+                                self.cfg.app_costs.clone(),
+                                self.locks,
+                                slot.clone(),
+                            )),
+                            format!("udp_worker{idx}"),
+                        ),
+                        _ => (
+                            Box::new(SctpWorker::new(
+                                self.core.clone(),
+                                self.cfg.app_costs.clone(),
+                                self.locks,
+                                slot.clone(),
+                            )),
+                            format!("sctp_worker{idx}"),
+                        ),
+                    };
+                let pid = kernel.spawn(self.host, self.cfg.worker_nice, name, proc_box);
+                // Donor search: any surviving process holding the shared
+                // socket (siblings first, then the SCTP timer's slot).
+                let mut donor = None;
+                for (j, &wpid) in self.workers.iter().enumerate() {
+                    if j != idx && kernel.alive(wpid) {
+                        if let Some(fd) = slots[j].get() {
+                            donor = Some((wpid, fd));
+                            break;
+                        }
+                    }
+                }
+                if donor.is_none() && slots.len() > self.workers.len() {
+                    if let (Some(tpid), Some(fd)) = (self.timer, slots[self.workers.len()].get()) {
+                        if kernel.alive(tpid) {
+                            donor = Some((tpid, fd));
+                        }
+                    }
+                }
+                let fd = match donor {
+                    Some((dpid, dfd)) => kernel
+                        .dup_to(dpid, dfd, pid)
+                        .expect("donor descriptor is live"),
+                    None => {
+                        // Every holder died: the socket is gone, bind anew.
+                        let fds = match self.cfg.transport {
+                            Transport::Udp => kernel.setup_shared_udp(self.host, SIP_PORT, &[pid]),
+                            _ => kernel.setup_shared_sctp(self.host, SIP_PORT, &[pid]),
+                        };
+                        fds.expect("rebind proxy socket")[0]
+                    }
+                };
+                slot.set(Some(fd));
+                slots[idx] = slot;
+                pid
+            }
+            RespawnCtx::TcpMulti {
+                shared,
+                assign_chans,
+                req_chans,
+            } => {
+                let pid = kernel.spawn(
+                    self.host,
+                    self.cfg.worker_nice,
+                    format!("tcp_worker{idx}"),
+                    Box::new(TcpWorker::new(
+                        idx,
+                        shared.clone(),
+                        assign_chans[idx],
+                        req_chans[idx],
+                    )),
+                );
+                shared
+                    .ctl
+                    .borrow_mut()
+                    .push_back(SupervisorCtl::WorkerRespawned(idx));
+                pid
+            }
+            RespawnCtx::TcpThread {
+                shared,
+                notify_chans,
+            } => kernel.spawn_thread(
+                self.cfg.worker_nice,
+                format!("worker_thread{idx}"),
+                Box::new(ThreadWorker::new(idx, shared.clone(), notify_chans[idx])),
+                self.supervisor.expect("threaded proxy has an acceptor"),
+            ),
+        };
+        self.workers[idx] = pid;
+        self.core.borrow_mut().stats.workers_respawned += 1;
+        pid
+    }
+
+    /// Crashes and respawns the TCP multi-process supervisor.
+    ///
+    /// The replacement re-attaches the IPC channels, rebinds the listener,
+    /// and starts with an **empty** descriptor cache — workers whose fd
+    /// requests now miss fall back to outbound connects, as OpenSER does
+    /// after `tcp_main` restarts. Returns the new pid, or `None` for
+    /// architectures without a supervisor process.
+    pub fn respawn_supervisor(&mut self, kernel: &mut Kernel) -> Option<ProcId> {
+        let RespawnCtx::TcpMulti {
+            shared,
+            assign_chans,
+            req_chans,
+        } = &self.respawn
+        else {
+            return None;
+        };
+        let old = self.supervisor?;
+        kernel.kill(old);
+        let pid = kernel.spawn(
+            self.host,
+            self.cfg.supervisor_nice,
+            "tcp_main",
+            Box::new(Supervisor::new(
+                shared.clone(),
+                assign_chans.clone(),
+                req_chans.clone(),
+            )),
+        );
+        self.supervisor = Some(pid);
+        self.core.borrow_mut().stats.workers_respawned += 1;
+        Some(pid)
     }
 }
 
@@ -91,6 +256,7 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
     let mut workers = Vec::with_capacity(n);
     let mut supervisor = None;
     let timer;
+    let respawn;
 
     match (cfg.transport, cfg.arch) {
         (Transport::Udp, _) => {
@@ -126,6 +292,7 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
             for (slot, fd) in slots.iter().zip(fds) {
                 slot.set(Some(fd));
             }
+            respawn = RespawnCtx::Msg { slots };
         }
         (Transport::Sctp, _) => {
             let mut slots = Vec::with_capacity(n + 1);
@@ -164,6 +331,7 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
             for (slot, fd) in slots.iter().zip(fds) {
                 slot.set(Some(fd));
             }
+            respawn = RespawnCtx::Msg { slots };
         }
         (Transport::Tcp, Arch::MultiProcess) => {
             let assign_chans: Vec<_> = (0..n)
@@ -177,6 +345,7 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
                 conns: conns.clone(),
                 cfg: cfg.clone(),
                 locks,
+                ctl: Rc::new(RefCell::new(Default::default())),
             };
             supervisor = Some(kernel.spawn(
                 host,
@@ -214,6 +383,11 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
                     None,
                 )),
             ));
+            respawn = RespawnCtx::TcpMulti {
+                shared,
+                assign_chans,
+                req_chans,
+            };
         }
         (Transport::Tcp, Arch::MultiThread) => {
             let notify_chans: Vec<_> = (0..n)
@@ -258,6 +432,10 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
                     None,
                 )),
             ));
+            respawn = RespawnCtx::TcpThread {
+                shared,
+                notify_chans,
+            };
         }
     }
 
@@ -271,5 +449,6 @@ pub fn spawn_proxy(kernel: &mut Kernel, host: HostId, cfg: ProxyConfig) -> Proxy
         supervisor,
         timer,
         cfg,
+        respawn,
     }
 }

@@ -51,6 +51,16 @@ pub const MSG_NEW_OUTBOUND: u32 = 6;
 
 const RECV_CHUNK: usize = 16 * 1024;
 
+/// Out-of-band notifications from the spawner's fault-injection path to the
+/// supervisor, delivered through shared memory (the supervisor observes
+/// `SIGCHLD`-style events on its next loop pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorCtl {
+    /// Worker `idx` was killed and respawned; its owned connections must be
+    /// re-assigned (the supervisor still holds their descriptors).
+    WorkerRespawned(usize),
+}
+
 /// Everything a TCP-side process needs a handle on.
 #[derive(Clone)]
 pub struct TcpShared {
@@ -62,6 +72,8 @@ pub struct TcpShared {
     pub cfg: Rc<ProxyConfig>,
     /// The shared-memory locks.
     pub locks: Locks,
+    /// Crash/respawn notifications for the supervisor.
+    pub ctl: Rc<RefCell<VecDeque<SupervisorCtl>>>,
 }
 
 impl TcpShared {
@@ -215,6 +227,33 @@ impl Supervisor {
         }
     }
 
+    /// Re-assigns every connection still owned by a respawned worker: the
+    /// supervisor re-sends `MSG_NEW_CONN` with its own descriptor copy, so
+    /// the fresh process can resume reading where the crashed one stopped.
+    /// Connections whose descriptor the supervisor no longer holds cannot
+    /// be handed over and are destroyed.
+    fn reassign_worker(&mut self, worker: usize) {
+        let ids = self.shared.conns.borrow().owned_by(worker);
+        for id in ids {
+            let peer = match self.shared.conns.borrow().get(id) {
+                Some(obj) => obj.peer,
+                None => continue,
+            };
+            match self.fd_of_conn.get(&id.0).copied() {
+                Some(fd) => {
+                    self.shared.core.borrow_mut().stats.conns_reassigned += 1;
+                    self.shared
+                        .conn_table_script(&mut self.script, 0, tags::CONN_HASH);
+                    self.script.push_back(Syscall::IpcSend {
+                        fd: self.assign_fds[worker],
+                        msg: IpcMsg::with_fd(MSG_NEW_CONN, id.0, encode_addr(peer), fd),
+                    });
+                }
+                None => self.destroy_conn(id.0),
+            }
+        }
+    }
+
     fn destroy_conn(&mut self, conn: u64) {
         self.shared.conns.borrow_mut().remove(ConnId(conn));
         self.shared
@@ -271,6 +310,18 @@ impl Supervisor {
     }
 
     fn next_action(&mut self, now: SimTime) -> Syscall {
+        // Crash notifications first: a respawned worker must get its
+        // connections back before they can starve to their idle timeout.
+        loop {
+            let ctl = self.shared.ctl.borrow_mut().pop_front();
+            match ctl {
+                Some(SupervisorCtl::WorkerRespawned(w)) => {
+                    self.worked_since_scan = true;
+                    self.reassign_worker(w);
+                }
+                None => break,
+            }
+        }
         if let Some(s) = self.script.pop_front() {
             self.phase = SupPhase::Script;
             return s;

@@ -39,6 +39,11 @@ pub struct NetConfig {
     pub max_endpoints_per_host: usize,
     /// SCTP association setup time in addition to the handshake RTT.
     pub sctp_assoc_setup: SimDuration,
+    /// Extra delivery delay charged when a link fault "loses" a frame of a
+    /// reliable transport: the stack would retransmit after roughly one
+    /// RTO, so the stream stalls instead of losing bytes (Linux minimum
+    /// RTO: 200 ms).
+    pub retrans_delay: SimDuration,
 }
 
 impl NetConfig {
@@ -57,6 +62,7 @@ impl NetConfig {
             udp_rcv_queue: 4096,
             max_endpoints_per_host: 32768,
             sctp_assoc_setup: SimDuration::from_micros(30),
+            retrans_delay: SimDuration::from_millis(200),
         }
     }
 

@@ -69,6 +69,12 @@ pub enum NetEvent {
         /// The port.
         port: Port,
     },
+    /// A frozen accept queue thaws (fault injection); listeners on the host
+    /// re-announce queued connections.
+    AcceptThaw {
+        /// Host whose accept queues thaw.
+        host: HostId,
+    },
     /// An SCTP message arriving at a bound endpoint.
     SctpDeliver {
         /// Destination host (endpoint resolved at delivery).

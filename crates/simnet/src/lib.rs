@@ -12,6 +12,8 @@
 //! * [`config`] — latency, MSS, buffer sizes, port ranges, TIME_WAIT.
 //! * [`ports`] — per-host ephemeral port pools (the §4.3 starvation
 //!   mechanism).
+//! * [`fault`] — deterministic fault injection: burst loss, partitions,
+//!   latency spikes, TCP resets, accept freezes (dedicated RNG stream).
 //! * [`net`] — the [`net::Network`] fabric and the UDP datagram service.
 //! * [`tcp`] — handshake, ordered byte streams with real segmentation,
 //!   receive-window backpressure, accept queues, TIME_WAIT.
@@ -52,6 +54,7 @@ pub mod config;
 pub mod endpoint;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod net;
 pub mod ports;
 pub mod sctp;
@@ -62,4 +65,5 @@ pub use config::NetConfig;
 pub use endpoint::{bytes_from, Bytes, Datagram, EpId, TcpState};
 pub use error::Errno;
 pub use event::{NetEvent, NetOutcome};
+pub use fault::GilbertElliott;
 pub use net::{NetStats, Network};

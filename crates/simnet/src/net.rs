@@ -18,6 +18,7 @@ use crate::config::NetConfig;
 use crate::endpoint::{Bytes, Datagram, Endpoint, EpId, UdpEp};
 use crate::error::Errno;
 use crate::event::{NetEvent, NetOutcome};
+use crate::fault::FaultState;
 use crate::ports::PortPool;
 
 /// Aggregate traffic statistics for a run.
@@ -41,6 +42,12 @@ pub struct NetStats {
     pub sctp_messages: u64,
     /// SCTP associations established.
     pub sctp_assocs: u64,
+    /// Frames dropped by injected link faults (partition/burst loss).
+    pub fault_drops: u64,
+    /// Reliable-transport frames delayed by injected link faults.
+    pub fault_delays: u64,
+    /// TCP connections killed by injected RSTs.
+    pub tcp_resets: u64,
 }
 
 /// The simulated network fabric.
@@ -54,6 +61,10 @@ pub struct Network {
     pub(crate) ports: Vec<PortPool>,
     pub(crate) ep_count: Vec<usize>,
     pub(crate) rng: SimRng,
+    /// Dedicated stream for fault decisions (loss, burst chains): isolated
+    /// from `rng` so toggling faults never shifts the jitter schedule.
+    pub(crate) fault_rng: SimRng,
+    pub(crate) faults: FaultState,
     pub(crate) events: Vec<(SimTime, NetEvent)>,
     pub(crate) outcomes: Vec<NetOutcome>,
     pub(crate) stats: NetStats,
@@ -72,6 +83,8 @@ impl Network {
             ports: Vec::new(),
             ep_count: Vec::new(),
             rng: SimRng::seed_from_u64(seed ^ 0x6e65_7421),
+            fault_rng: SimRng::seed_from_u64(seed ^ 0xfa17_0bad),
+            faults: FaultState::default(),
             events: Vec::new(),
             outcomes: Vec::new(),
             stats: NetStats::default(),
@@ -125,15 +138,16 @@ impl Network {
         std::mem::take(&mut self.outcomes)
     }
 
-    /// One-way delivery delay for the next frame (latency plus jitter).
-    pub(crate) fn delay(&mut self) -> SimDuration {
+    /// One-way delivery delay for the next frame (latency plus jitter plus
+    /// any active latency-spike fault).
+    pub(crate) fn delay(&mut self, now: SimTime) -> SimDuration {
         let jitter_ns = self.cfg.latency_jitter.as_nanos();
         let jitter = if jitter_ns == 0 {
             0
         } else {
             self.rng.range_u64(0..jitter_ns)
         };
-        self.cfg.one_way_latency + SimDuration::from_nanos(jitter)
+        self.cfg.one_way_latency + SimDuration::from_nanos(jitter) + self.spike_extra(now)
     }
 
     pub(crate) fn charge_endpoint(&mut self, host: HostId) -> Result<(), Errno> {
@@ -191,6 +205,7 @@ impl Network {
                 from,
                 data,
             } => self.sctp_deliver(to_host, to_port, from, data),
+            NetEvent::AcceptThaw { host } => self.accept_thaw(now, host),
         }
     }
 
@@ -253,11 +268,18 @@ impl Network {
             _ => return Err(Errno::BadFd),
         };
         self.stats.udp_sent += 1;
-        if self.cfg.udp_loss > 0.0 && self.rng.chance(self.cfg.udp_loss) {
+        // Draw the latency jitter *before* any drop decision so lossy and
+        // clean runs consume the jitter stream identically; all loss
+        // randomness comes from the dedicated fault stream.
+        let delay = self.delay(now);
+        if self.cfg.udp_loss > 0.0 && self.fault_rng.chance(self.cfg.udp_loss) {
             self.stats.udp_lost += 1;
             return Ok(()); // silently lost, like real UDP
         }
-        let delay = self.delay();
+        if self.link_drops(now, from_addr.host, to.host) {
+            self.stats.udp_lost += 1;
+            return Ok(());
+        }
         if let Some(&dst) = self.udp_bound.get(&to) {
             self.events.push((
                 now + delay,
@@ -455,7 +477,7 @@ mod tests {
     fn delay_within_bounds() {
         let (mut n, _, _) = net();
         for _ in 0..100 {
-            let d = n.delay();
+            let d = n.delay(SimTime::ZERO);
             assert!(d >= n.cfg.one_way_latency);
             assert!(d < n.cfg.one_way_latency + n.cfg.latency_jitter);
         }

@@ -74,7 +74,14 @@ impl Network {
         to: SockAddr,
         data: Bytes,
     ) -> Result<(), Errno> {
-        let base_delay = self.delay();
+        let from_host = match self.eps.get(from) {
+            Some(Endpoint::Sctp(e)) => e.local.host,
+            _ => return Err(Errno::BadFd),
+        };
+        // SCTP is reliable: link faults stall the stream, never lose a
+        // message.
+        let fault_extra = self.link_extra(now, from_host, to.host);
+        let base_delay = self.delay(now) + fault_extra;
         let setup = self.cfg.sctp_assoc_setup;
         let one_way = self.cfg.one_way_latency;
         let (from_addr, deliver_at) = {

@@ -74,7 +74,9 @@ impl Network {
             owns_port: true,
             app_closed: false,
         }));
-        let delay = self.delay();
+        // A partition or burst hit on the SYN shows up as handshake delay
+        // (the stack retransmits SYNs), never as a silent drop.
+        let delay = self.delay(now) + self.link_extra(now, host, to.host);
         self.events.push((
             now + delay,
             NetEvent::TcpSyn {
@@ -94,6 +96,15 @@ impl Network {
     /// [`Errno::WouldBlock`] when the queue is empty; [`Errno::BadFd`] on a
     /// non-listener.
     pub fn tcp_try_accept(&mut self, listener: EpId) -> Result<(EpId, SockAddr), Errno> {
+        let host = match self.eps.get(listener) {
+            Some(Endpoint::TcpListener(l)) => l.local.host,
+            _ => return Err(Errno::BadFd),
+        };
+        if self.accepts_frozen(host) {
+            // Accept-queue freeze fault: connections keep queueing but the
+            // application cannot reap them until the thaw.
+            return Err(Errno::WouldBlock);
+        }
         match self.eps.get_mut(listener) {
             Some(Endpoint::TcpListener(l)) => l.queue.pop_front().ok_or(Errno::WouldBlock),
             _ => Err(Errno::BadFd),
@@ -156,8 +167,14 @@ impl Network {
     /// application bug.
     pub fn tcp_send(&mut self, now: SimTime, ep: EpId, data: Bytes) -> Result<(), Errno> {
         assert!(!data.is_empty(), "tcp_send of empty payload");
-        let (peer, state, app_closed) = match self.eps.get(ep) {
-            Some(Endpoint::Tcp(t)) => (t.peer, t.state, t.app_closed),
+        let (peer, state, app_closed, from_host, to_host) = match self.eps.get(ep) {
+            Some(Endpoint::Tcp(t)) => (
+                t.peer,
+                t.state,
+                t.app_closed,
+                t.local.host,
+                t.peer_addr.host,
+            ),
             _ => return Err(Errno::BadFd),
         };
         if app_closed {
@@ -176,12 +193,15 @@ impl Network {
             return Err(Errno::WouldBlock);
         }
 
+        // One fault verdict per send: a "lost" frame on a reliable stream
+        // stalls the whole send by a retransmission timeout.
+        let fault_extra = self.link_extra(now, from_host, to_host);
         let mss = self.cfg.mss;
         let total = data.len();
         let mut offset = 0;
         while offset < total {
             let len = mss.min(total - offset);
-            let delay = self.delay();
+            let delay = self.delay(now) + fault_extra;
             // In-order delivery: a later segment may never arrive earlier
             // than a previous one on the same stream.
             let (deliver_at, seg) = {
@@ -277,7 +297,7 @@ impl Network {
                 // arrives at our (now removed) endpoint; credit it back so
                 // the peer's window accounting cannot wedge.
                 p.in_flight = 0;
-                let delay = self.delay();
+                let delay = self.delay(now);
                 let at = (now + delay).max(stream_tail);
                 self.events.push((at, NetEvent::TcpFin { to: peer }));
                 self.outcomes.push(NetOutcome::Writable(peer));
@@ -327,7 +347,7 @@ impl Network {
         from_addr: SockAddr,
     ) {
         let refuse = |net: &mut Network, err: Errno| {
-            let delay = net.delay();
+            let delay = net.delay(now);
             net.stats.tcp_refused += 1;
             net.events
                 .push((now + delay, NetEvent::TcpRefused { to: from_ep, err }));
@@ -365,7 +385,7 @@ impl Network {
             l.queue.push_back((server_ep, from_addr));
         }
         self.outcomes.push(NetOutcome::Readable(listener));
-        let delay = self.delay();
+        let delay = self.delay(now);
         self.events.push((
             now + delay,
             NetEvent::TcpSynAck {
@@ -411,7 +431,9 @@ impl Network {
             }
         }
         if let Some(Endpoint::Tcp(t)) = self.eps.get_mut(to) {
-            if t.app_closed {
+            if t.app_closed || matches!(t.state, TcpState::Failed(_)) {
+                // Closed locally or killed by an injected RST: data arriving
+                // for a dead connection is discarded.
                 return;
             }
             t.rx.push_back((slice_bytes(&data, offset, len), 0));
@@ -422,6 +444,9 @@ impl Network {
 
     pub(crate) fn tcp_fin(&mut self, to: EpId) {
         if let Some(Endpoint::Tcp(t)) = self.eps.get_mut(to) {
+            if matches!(t.state, TcpState::Failed(_)) {
+                return; // already dead (reset); keep the reset errno
+            }
             t.eof = true;
             if t.state == TcpState::Established {
                 t.state = TcpState::PeerClosed;

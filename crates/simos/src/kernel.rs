@@ -359,6 +359,84 @@ impl Kernel {
             .collect())
     }
 
+    // ----------------------------------------------------- fault injection
+
+    /// Kills a process immediately (`SIGKILL`): frees its core or ready-queue
+    /// slot, cancels in-flight bursts and timers, force-releases any locks it
+    /// held (robust-futex semantics), closes its descriptors unless threads
+    /// still share the table, and marks it exited. Returns `false` if the
+    /// process had already exited.
+    ///
+    /// The process object gets no notification — exactly like a real
+    /// `SIGKILL`, which is what makes worker-crash experiments honest: any
+    /// in-flight transaction state dies with the process.
+    pub fn kill(&mut self, pid: ProcId) -> bool {
+        let state = std::mem::replace(&mut self.procs[pid.0 as usize].state, ProcState::Exited);
+        match state {
+            ProcState::Exited => return false,
+            ProcState::Running { core, start, .. } => {
+                // Account the partial burst, then free the core.
+                let elapsed = (self.now - start).as_nanos();
+                let (host, tag) = {
+                    let e = &mut self.procs[pid.0 as usize];
+                    e.cpu_ns += elapsed;
+                    (e.host, e.burst_tag)
+                };
+                self.scheds[host.0 as usize].cores[core] = None;
+                self.scheds[host.0 as usize].busy_ns += elapsed;
+                self.profilers[host.0 as usize].record(tag, elapsed);
+            }
+            ProcState::Ready => {
+                let host = self.procs[pid.0 as usize].host;
+                for q in self.scheds[host.0 as usize].ready.values_mut() {
+                    q.retain(|&p| p != pid);
+                }
+            }
+            ProcState::Blocked(WaitCond::Connect { ep, .. }) => {
+                self.connect_waiters.remove(&ep);
+            }
+            // Stale waiters_one/poll_waiters entries are tolerated: wakers
+            // re-check that the process is still validly blocked.
+            ProcState::Blocked(_) => {}
+        }
+        self.procs[pid.0 as usize].token += 1; // cancels burst/timer events
+        for lock in &mut self.locks {
+            lock.force_release(pid);
+        }
+        let host = self.procs[pid.0 as usize].host;
+        self.exit_proc(pid);
+        self.dispatch(host);
+        true
+    }
+
+    /// True until a process exits (or is killed).
+    pub fn alive(&self, pid: ProcId) -> bool {
+        !matches!(self.procs[pid.0 as usize].state, ProcState::Exited)
+    }
+
+    /// Duplicates a descriptor of `from` into `to`'s table (the supervisor
+    /// re-sharing an inherited socket with a respawned worker). The
+    /// underlying object gains a reference, exactly as with fd passing.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::BadFd`] if `from_fd` is not open in `from`.
+    pub fn dup_to(&mut self, from: ProcId, from_fd: Fd, to: ProcId) -> Result<Fd, Errno> {
+        let kind = self.fd_kind(from, from_fd)?;
+        Ok(self.install_fd(to, kind))
+    }
+
+    /// Applies a fault to the network fabric at the current virtual time,
+    /// then drains the readiness outcomes it produced so blocked processes
+    /// observe the fault immediately (an injected RST must wake blocked
+    /// readers just like a real one).
+    pub fn inject_fault<R>(&mut self, f: impl FnOnce(&mut Network, SimTime) -> R) -> R {
+        let now = self.now;
+        let r = f(&mut self.net, now);
+        self.drain_net();
+        r
+    }
+
     // ---------------------------------------------------------- accessors
 
     /// Current virtual time.

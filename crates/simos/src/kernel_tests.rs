@@ -1064,3 +1064,186 @@ fn preemption_statistics_are_recorded() {
         k.stats()
     );
 }
+
+#[test]
+fn kill_frees_core_and_force_releases_locks() {
+    let mut k = free_kernel();
+    let h = k.add_host(1);
+    let lock = k.create_lock("table");
+
+    // The hog grabs the lock and computes forever while holding it.
+    let mut hstep = 0;
+    let hog = k.spawn(
+        h,
+        Nice::NORMAL,
+        "hog",
+        Box::new(move |_: &mut ResumeCtx, _| {
+            hstep += 1;
+            if hstep == 1 {
+                Syscall::LockAcquire { lock }
+            } else {
+                Syscall::Compute {
+                    ns: 1_000_000,
+                    tag: "user/hog",
+                }
+            }
+        }),
+    );
+    k.run_until(SimTime::ZERO + SimDuration::from_millis(10));
+    assert!(k.alive(hog));
+    assert_eq!(k.lock(lock).holder(), Some(hog));
+
+    assert!(k.kill(hog), "first kill reports success");
+    assert!(!k.alive(hog));
+    assert!(!k.kill(hog), "second kill is a no-op");
+    assert_eq!(
+        k.lock(lock).holder(),
+        None,
+        "crashed holder must be evicted"
+    );
+
+    // With the core and the lock free, a newcomer runs to completion.
+    let done = Rc::new(RefCell::new(false));
+    let done2 = done.clone();
+    let mut step = 0;
+    k.spawn(
+        h,
+        Nice::NORMAL,
+        "heir",
+        Box::new(move |_: &mut ResumeCtx, _| {
+            step += 1;
+            match step {
+                1 => Syscall::LockAcquire { lock },
+                2 => Syscall::LockRelease { lock },
+                _ => {
+                    *done2.borrow_mut() = true;
+                    Syscall::Exit
+                }
+            }
+        }),
+    );
+    let outcome = k.run_until(secs(1));
+    assert!(matches!(outcome, RunOutcome::Quiescent { .. }));
+    assert!(*done.borrow());
+}
+
+#[test]
+fn kill_cancels_pending_timers_and_closes_descriptors() {
+    let mut k = free_kernel();
+    let h = k.add_host(1);
+    let woke = Rc::new(RefCell::new(false));
+    let woke2 = woke.clone();
+    let mut step = 0;
+    let pid = k.spawn(
+        h,
+        Nice::NORMAL,
+        "sleeper",
+        Box::new(move |_: &mut ResumeCtx, _| {
+            step += 1;
+            match step {
+                1 => Syscall::UdpBind { port: 6000 },
+                2 => Syscall::Sleep(SimDuration::from_millis(50)),
+                _ => {
+                    *woke2.borrow_mut() = true;
+                    Syscall::Exit
+                }
+            }
+        }),
+    );
+    // Let it bind and fall asleep, then crash it mid-sleep.
+    k.run_until(SimTime::ZERO + SimDuration::from_millis(5));
+    assert_eq!(k.net().endpoints_on(h), 1);
+    assert!(k.kill(pid));
+    assert_eq!(
+        k.net().endpoints_on(h),
+        0,
+        "descriptors must be reclaimed on kill"
+    );
+    let outcome = k.run_until(secs(1));
+    assert!(matches!(outcome, RunOutcome::Quiescent { .. }));
+    assert!(!*woke.borrow(), "the cancelled timer must never fire");
+}
+
+#[test]
+fn dup_to_keeps_a_socket_alive_across_the_donor_exit() {
+    let mut k = free_kernel();
+    let h = k.add_host(2);
+    let peer = k.add_host(1);
+
+    // Receiver on the peer host records what arrives on port 7000.
+    let got = Rc::new(RefCell::new(Vec::<u8>::new()));
+    let got2 = got.clone();
+    let mut rstep = 0;
+    k.spawn(
+        peer,
+        Nice::NORMAL,
+        "receiver",
+        Box::new(move |_: &mut ResumeCtx, last: SysResult| {
+            rstep += 1;
+            match rstep {
+                1 => Syscall::UdpBind { port: 7000 },
+                2 => {
+                    let fd = last.expect_fd();
+                    Syscall::UdpRecv { fd }
+                }
+                _ => {
+                    if let SysResult::Datagram { data, .. } = last {
+                        got2.borrow_mut().extend_from_slice(&data);
+                    }
+                    Syscall::Exit
+                }
+            }
+        }),
+    );
+
+    // Donor binds a socket, parks forever; the driver dups its descriptor
+    // into a fresh worker (the respawn path) and then kills the donor.
+    let donor_fd = Rc::new(RefCell::new(None::<Fd>));
+    let donor_fd2 = donor_fd.clone();
+    let mut dstep = 0;
+    let donor = k.spawn(
+        h,
+        Nice::NORMAL,
+        "donor",
+        Box::new(move |_: &mut ResumeCtx, last: SysResult| {
+            dstep += 1;
+            match dstep {
+                1 => Syscall::UdpBind { port: 6001 },
+                _ => {
+                    if dstep == 2 {
+                        *donor_fd2.borrow_mut() = Some(last.expect_fd());
+                    }
+                    Syscall::Sleep(SimDuration::from_secs(10))
+                }
+            }
+        }),
+    );
+    k.run_until(SimTime::ZERO + SimDuration::from_millis(5));
+    let dfd = donor_fd.borrow().expect("donor bound");
+
+    let heir_fd = Rc::new(RefCell::new(None::<Fd>));
+    let heir_fd2 = heir_fd.clone();
+    let mut hstep = 0;
+    let heir = k.spawn(
+        h,
+        Nice::NORMAL,
+        "heir",
+        Box::new(move |_: &mut ResumeCtx, _| {
+            hstep += 1;
+            match hstep {
+                1 => Syscall::UdpSend {
+                    fd: heir_fd2.borrow().expect("dup before first run"),
+                    to: SockAddr::new(siperf_simnet::HostId(1), 7000),
+                    data: bytes_from(b"hi".to_vec()),
+                },
+                _ => Syscall::Exit,
+            }
+        }),
+    );
+    let dup = k.dup_to(donor, dfd, heir).expect("dup_to");
+    *heir_fd.borrow_mut() = Some(dup);
+    assert!(k.kill(donor), "donor crashes before the heir ever runs");
+
+    k.run_until(secs(1));
+    assert_eq!(&*got.borrow(), b"hi", "the dup'd socket must still work");
+}

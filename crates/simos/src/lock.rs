@@ -72,6 +72,21 @@ impl Lock {
         self.holder = None;
     }
 
+    /// Releases the lock if `pid` holds it, returning whether it did.
+    ///
+    /// This is crash cleanup — the robust-futex `EOWNERDEAD` path — used by
+    /// the kernel when a process is killed mid-critical-section. Unlike
+    /// [`release`](Self::release) it never panics, because a killed holder
+    /// is a fault being injected, not an application bug.
+    pub fn force_release(&mut self, pid: ProcId) -> bool {
+        if self.holder == Some(pid) {
+            self.holder = None;
+            true
+        } else {
+            false
+        }
+    }
+
     /// The current holder, if any.
     pub fn holder(&self) -> Option<ProcId> {
         self.holder

@@ -112,6 +112,9 @@ struct CallCtx {
     invite_branch: String,
     cancel_pending: bool,
     cancel_sent: bool,
+    /// The call hit a transport fault (reset/EOF) and was re-driven; when it
+    /// still completes, it counts as recovered.
+    disturbed: bool,
 }
 
 /// What the transport layer should do after consulting the engine.
@@ -200,8 +203,40 @@ impl CallEngine {
             invite_branch: branch,
             cancel_pending,
             cancel_sent: false,
+            disturbed: false,
         });
         bytes
+    }
+
+    /// Transport-fault recovery: returns the in-flight request (INVITE or
+    /// BYE) to send again after a reconnect, marking the call disturbed so a
+    /// later completion counts as recovered. `None` when no call is in
+    /// flight — reconnecting between calls needs no re-drive.
+    pub fn redrive(&mut self, now: SimTime) -> Option<Bytes> {
+        let call = self.call.as_mut()?;
+        // One re-drive per call: the first disturbance re-sends the
+        // in-flight request; further connection losses (e.g. a server
+        // aggressively reaping idle connections) must not turn one call
+        // into a reconnect storm.
+        if call.disturbed {
+            return None;
+        }
+        call.disturbed = true;
+        // Restart the retransmission clock relative to the reconnect so an
+        // unreliable phone does not fire a burst of catch-up retransmits.
+        let reliable = self.reliable;
+        call.clock = if reliable {
+            RetransClock::reliable(now)
+        } else {
+            RetransClock::new(now, Method::Invite)
+        };
+        Some(call.cur_msg.clone())
+    }
+
+    /// Whether a call is currently in flight (drives reconnect-and-redrive
+    /// decisions in the transport layer).
+    pub fn call_in_flight(&self) -> bool {
+        self.call.is_some()
     }
 
     /// When the transport should next wake the engine if nothing arrives.
@@ -322,6 +357,10 @@ impl CallEngine {
                 if code == StatusCode::OK {
                     let to_tag = msg.to.tag.clone().unwrap_or_else(|| "t".into());
                     let started = call.txn_start;
+                    if call.disturbed {
+                        call.disturbed = false;
+                        self.stats.borrow_mut().recovered_calls += 1;
+                    }
                     self.stats.borrow_mut().record_invite(started, now);
                     self.consecutive_rejects = 0;
                     self.ops_done += 1;
@@ -364,6 +403,10 @@ impl CallEngine {
             CallPhase::AwaitByeOk if msg.cseq_method == Method::Bye => {
                 if code == StatusCode::OK {
                     let started = call.txn_start;
+                    if call.disturbed {
+                        call.disturbed = false;
+                        self.stats.borrow_mut().recovered_calls += 1;
+                    }
                     self.stats.borrow_mut().record_bye(started, now);
                     self.ops_done += 1;
                     self.call = None;

@@ -24,6 +24,10 @@ use crate::phone::{callee_answer_timed, CallEngine, EngineAction, PhoneCfg, Role
 
 const RECV_CHUNK: usize = 16 * 1024;
 const CONNECT_BACKOFF: SimDuration = SimDuration::from_millis(100);
+/// How many times a phone re-registers (reconnect + fresh REGISTER) before
+/// giving up and exiting. Keeps a partitioned phone from panicking the whole
+/// simulation while still bounding its patience.
+const MAX_REG_ATTEMPTS: u32 = 5;
 
 #[derive(Debug, Clone, Copy)]
 enum Cont {
@@ -63,6 +67,7 @@ pub struct TcpPhone {
     engine: Option<CallEngine>,
     reg_deadline: SimTime,
     registered: bool,
+    reg_attempts: u32,
     ops_at_conn: u64,
     pending_out: Vec<Bytes>,
     pending_ready: VecDeque<Fd>,
@@ -83,6 +88,7 @@ impl TcpPhone {
             engine: None,
             reg_deadline: SimTime::MAX,
             registered: false,
+            reg_attempts: 0,
             ops_at_conn: 0,
             pending_out: Vec::new(),
             pending_ready: VecDeque::new(),
@@ -180,15 +186,47 @@ impl TcpPhone {
         self.park(Cont::Call, now)
     }
 
-    fn conn_gone(&mut self, fd: Fd) {
+    fn conn_gone(&mut self, fd: Fd, now: SimTime, reset: bool) {
+        let was_client = self.client == Some(fd);
         self.framers.remove(&fd);
-        if self.client == Some(fd) {
+        if was_client {
             self.client = None;
         }
         // §4.3's phones never *initiate* closes — live connections are
         // abandoned for the server to reap — but once the peer has closed,
         // the dead descriptor is released like any real client would.
         self.script.push_back(Syscall::Close { fd });
+        // A *reset* on the client connection mid-call is a fault, not a
+        // fatality: queue the in-flight request so the reconnect re-drives
+        // it (reliable transports never retransmit on their own, so without
+        // this the call would stall to Timer B). A graceful EOF is the
+        // server reaping an idle connection — the transaction is intact and
+        // its response arrives over a proxy-initiated connection, so
+        // re-driving would only add connection churn.
+        if reset && was_client && self.registered {
+            if let Some(msg) = self.engine.as_mut().and_then(|e| e.redrive(now)) {
+                self.pending_out.push(msg);
+            }
+        }
+    }
+
+    /// After losing a connection: reconnect right away when the client link
+    /// is needed — for a re-drive of an in-flight call, or to finish
+    /// registering. Returns the syscall that starts the reconnect.
+    fn reconnect_after_loss(&mut self) -> Option<Syscall> {
+        if self.client.is_some() {
+            return None;
+        }
+        if self.registered && !self.pending_out.is_empty() {
+            self.phase = Phase::Connecting(Why::Flush);
+            return Some(Syscall::TcpConnect { to: self.cfg.proxy });
+        }
+        if !self.registered && self.reg_attempts < MAX_REG_ATTEMPTS {
+            self.reg_attempts += 1;
+            self.phase = Phase::Connecting(Why::Register);
+            return Some(Syscall::TcpConnect { to: self.cfg.proxy });
+        }
+        None
     }
 
     /// Feeds framed messages from one connection through role logic.
@@ -334,7 +372,23 @@ impl Process for TcpPhone {
                     self.park(cont, ctx.now)
                 }
                 SysResult::TimedOut => match cont {
-                    Cont::Reg => panic!("phone {} failed to register over TCP", self.cfg.user),
+                    Cont::Reg => {
+                        // Registration timed out — a fault swallowed the
+                        // REGISTER or its 200. Retry over a fresh connection
+                        // a bounded number of times, then give up quietly
+                        // instead of panicking the whole simulation.
+                        self.reg_attempts += 1;
+                        if self.reg_attempts >= MAX_REG_ATTEMPTS {
+                            self.cfg.stats.borrow_mut().connect_errors += 1;
+                            return Syscall::Exit;
+                        }
+                        if let Some(fd) = self.client.take() {
+                            self.framers.remove(&fd);
+                            self.script.push_back(Syscall::Close { fd });
+                        }
+                        self.phase = Phase::Connecting(Why::Register);
+                        Syscall::TcpConnect { to: self.cfg.proxy }
+                    }
                     Cont::Call => {
                         let action = self
                             .engine
@@ -371,13 +425,26 @@ impl Process for TcpPhone {
                     match frames {
                         Ok(frames) => self.handle_frames(ctx.now, fd, frames, cont),
                         Err(_) => {
-                            self.conn_gone(fd);
+                            self.conn_gone(fd, ctx.now, false);
+                            if let Some(s) = self.reconnect_after_loss() {
+                                return s;
+                            }
                             self.park(cont, ctx.now)
                         }
                     }
                 }
-                SysResult::Eof | SysResult::Err(_) => {
-                    self.conn_gone(fd);
+                SysResult::Eof => {
+                    self.conn_gone(fd, ctx.now, false);
+                    if let Some(s) = self.reconnect_after_loss() {
+                        return s;
+                    }
+                    self.park(cont, ctx.now)
+                }
+                SysResult::Err(_) => {
+                    self.conn_gone(fd, ctx.now, true);
+                    if let Some(s) = self.reconnect_after_loss() {
+                        return s;
+                    }
                     self.park(cont, ctx.now)
                 }
                 other => panic!("phone recv got {other:?}"),

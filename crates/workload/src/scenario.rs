@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use siperf_faults::{Fault, FaultSchedule};
 use siperf_overload::OverloadConfig;
 use siperf_proxy::config::{ProxyConfig, Transport};
 use siperf_proxy::core::ProxyStats;
@@ -58,6 +59,8 @@ pub struct Scenario {
     pub kernel_costs: CostModel,
     /// CPU charged per message on phones.
     pub phone_proc_ns: u64,
+    /// Faults injected at fixed virtual-time offsets while the run plays.
+    pub faults: FaultSchedule,
 }
 
 impl Scenario {
@@ -81,6 +84,7 @@ impl Scenario {
                 net: NetConfig::lan(),
                 kernel_costs: CostModel::opteron_2006(),
                 phone_proc_ns: 600,
+                faults: FaultSchedule::new(),
             },
         }
     }
@@ -96,8 +100,24 @@ impl Scenario {
     /// Runs the scenario to completion and gathers every result surface.
     pub fn run(&self) -> ScenarioReport {
         let mut world = self.build_world();
-        world.kernel.run_until(self.window().1);
+        self.drive(&mut world);
         self.report(&world)
+    }
+
+    /// Drives a built world to the end of the measurement window, applying
+    /// the fault schedule at its appointed instants. The schedule is sorted
+    /// by construction, so this is a single forward pass.
+    pub fn drive(&self, world: &mut World) {
+        let end = self.window().1;
+        for ev in self.faults.events() {
+            let at = SimTime::ZERO + ev.at;
+            if at >= end {
+                break;
+            }
+            world.kernel.run_until(at);
+            world.apply_fault(&ev.fault);
+        }
+        world.kernel.run_until(end);
     }
 
     /// Builds the simulated world without running it, for tests and
@@ -211,6 +231,10 @@ impl Scenario {
             phone_retransmits: w.phone_retransmits,
             connect_errors: w.connect_errors,
             reconnects: w.reconnects,
+            faults_injected: w.faults_injected,
+            connections_reset: w.connections_reset,
+            workers_respawned: w.workers_respawned,
+            recovered_calls: w.recovered_calls,
             invite_p50: w.invite_latency.percentile(50.0),
             invite_p99: w.invite_latency.percentile(99.0),
             bye_p50: w.bye_latency.percentile(50.0),
@@ -240,6 +264,72 @@ pub struct World {
     pub server: HostId,
     /// When construction started (for wall-clock reporting).
     pub wall_start: Instant,
+}
+
+impl World {
+    /// Applies one fault to the running world at the kernel's current
+    /// virtual time. Returns whether the fault had anything to act on (a
+    /// `TcpReset` with no established connection is a no-op, as is
+    /// `KillSupervisor` under a single-process architecture).
+    pub fn apply_fault(&mut self, fault: &Fault) -> bool {
+        let applied = match fault {
+            Fault::BurstLoss { model, duration } => {
+                let (model, duration) = (*model, *duration);
+                self.kernel
+                    .inject_fault(|net, now| net.fault_burst_loss(now, model, duration));
+                true
+            }
+            Fault::Partition { a, b, heal_after } => {
+                let (a, b, heal) = (*a, *b, *heal_after);
+                self.kernel
+                    .inject_fault(|net, now| net.fault_partition(now, a, b, heal));
+                true
+            }
+            Fault::LatencySpike { extra, duration } => {
+                let (extra, duration) = (*extra, *duration);
+                self.kernel
+                    .inject_fault(|net, now| net.fault_latency_spike(now, extra, duration));
+                true
+            }
+            Fault::AcceptFreeze { host, duration } => {
+                let (host, duration) = (*host, *duration);
+                self.kernel
+                    .inject_fault(|net, now| net.fault_freeze_accepts(now, host, duration));
+                true
+            }
+            Fault::TcpReset { host, nth } => {
+                let (host, nth) = (*host, *nth);
+                let reset = self.kernel.inject_fault(|net, _now| {
+                    let est = net.tcp_established_on(host);
+                    if est.is_empty() {
+                        false
+                    } else {
+                        net.tcp_reset(est[nth % est.len()]).is_ok()
+                    }
+                });
+                if reset {
+                    self.stats.borrow_mut().connections_reset += 1;
+                }
+                reset
+            }
+            Fault::KillWorker { index } => {
+                self.proxy.respawn_worker(&mut self.kernel, *index);
+                self.stats.borrow_mut().workers_respawned += 1;
+                true
+            }
+            Fault::KillSupervisor => {
+                let respawned = self.proxy.respawn_supervisor(&mut self.kernel).is_some();
+                if respawned {
+                    self.stats.borrow_mut().workers_respawned += 1;
+                }
+                respawned
+            }
+        };
+        if applied {
+            self.stats.borrow_mut().faults_injected += 1;
+        }
+        applied
+    }
 }
 
 /// Fluent construction for [`Scenario`].
@@ -312,6 +402,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Injects a fault schedule into the run.
+    pub fn fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.scenario.faults = faults;
+        self
+    }
+
     /// Mutates the proxy configuration in place.
     pub fn tune_proxy(mut self, f: impl FnOnce(&mut ProxyConfig)) -> Self {
         f(&mut self.scenario.proxy);
@@ -358,6 +454,15 @@ pub struct ScenarioReport {
     pub connect_errors: u64,
     /// Policy-driven reconnects (TCP 50/500-ops workloads).
     pub reconnects: u64,
+    /// Faults the schedule driver actually applied.
+    pub faults_injected: u64,
+    /// Established connections torn down by injected RSTs.
+    pub connections_reset: u64,
+    /// Proxy processes killed and respawned by injected crashes.
+    pub workers_respawned: u64,
+    /// Calls disturbed by a mid-call fault that still completed after
+    /// reconnect-and-redrive.
+    pub recovered_calls: u64,
     /// Invite-transaction latency, median.
     pub invite_p50: SimDuration,
     /// Invite-transaction latency, 99th percentile.
@@ -387,6 +492,15 @@ pub struct ScenarioReport {
 }
 
 impl ScenarioReport {
+    /// A deterministic digest of the run: the full report with the one
+    /// host-dependent field (wall-clock time) zeroed, so two same-seed runs
+    /// must produce byte-identical fingerprints.
+    pub fn fingerprint(&self) -> String {
+        let mut copy = self.clone();
+        copy.wall_clock_secs = 0.0;
+        format!("{copy:#?}")
+    }
+
     /// One line for figure tables.
     pub fn summary(&self) -> String {
         format!(

@@ -45,6 +45,15 @@ pub struct WorkloadStats {
     pub connect_errors: u64,
     /// Deliberate reconnections (the 50/500 ops-per-connection policies).
     pub reconnects: u64,
+    /// Faults injected into the run by the schedule driver.
+    pub faults_injected: u64,
+    /// Established connections torn down by injected RSTs.
+    pub connections_reset: u64,
+    /// Proxy processes killed and respawned by injected crashes.
+    pub workers_respawned: u64,
+    /// Calls disturbed by a transport fault (reset/EOF mid-call) that still
+    /// completed after reconnect-and-redrive.
+    pub recovered_calls: u64,
     /// Invite-transaction latency (INVITE sent → 200 received).
     pub invite_latency: Histogram,
     /// Bye-transaction latency (BYE sent → 200 received).
@@ -71,6 +80,10 @@ impl WorkloadStats {
             phone_retransmits: 0,
             connect_errors: 0,
             reconnects: 0,
+            faults_injected: 0,
+            connections_reset: 0,
+            workers_respawned: 0,
+            recovered_calls: 0,
             invite_latency: Histogram::new(),
             bye_latency: Histogram::new(),
         }))

@@ -23,6 +23,9 @@
 //! * [`overload`] — pluggable overload-control policies (queue-threshold
 //!   shedding, receiver-driven windows) the proxy consults before admitting
 //!   new calls, for the beyond-the-knee experiments.
+//! * [`faults`] — deterministic fault-injection schedules: burst loss,
+//!   partitions, latency spikes, TCP resets, accept freezes, and process
+//!   crashes, replayed at exact virtual times for chaos experiments.
 //! * [`workload`] — simulated phones, the benchmark manager, and the
 //!   paper's experiment definitions (Figures 3–5 plus ablations).
 //!
@@ -43,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub use siperf_faults as faults;
 pub use siperf_overload as overload;
 pub use siperf_proxy as proxy;
 pub use siperf_simcore as simcore;

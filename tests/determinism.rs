@@ -2,15 +2,28 @@
 //! replay bit-identically from a seed, or no figure in this repository
 //! would be reproducible.
 
+use siperf::faults::{Fault, FaultSchedule};
 use siperf::proxy::config::Transport;
 use siperf::simcore::time::SimDuration;
+use siperf::simnet::{GilbertElliott, NetConfig};
 use siperf::workload::{Scenario, ScenarioReport};
 
 fn run(transport: Transport, seed: u64) -> ScenarioReport {
+    run_with(transport, seed, NetConfig::lan(), FaultSchedule::new())
+}
+
+fn run_with(
+    transport: Transport,
+    seed: u64,
+    net: NetConfig,
+    faults: FaultSchedule,
+) -> ScenarioReport {
     let mut s = Scenario::builder("det")
         .transport(transport)
         .client_pairs(6)
         .seed(seed)
+        .net(net)
+        .fault_schedule(faults)
         .build();
     s.call_start = SimDuration::from_millis(600);
     s.measure_from = SimDuration::from_millis(1200);
@@ -49,6 +62,52 @@ fn tcp_replays_identically() {
     let a = run(Transport::Tcp, 12);
     let b = run(Transport::Tcp, 12);
     assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn fault_stream_is_isolated_from_the_delivery_schedule() {
+    // Loss decisions draw from the network's dedicated fault RNG stream,
+    // never from the jitter stream. A burst-loss episode that can never
+    // drop anything therefore consumes fault randomness per frame yet must
+    // leave the run bit-identical to a healthy one — if this fails, fault
+    // draws are perturbing the delivery schedule of unaffected packets.
+    let harmless = GilbertElliott {
+        p_good_to_bad: 0.3,
+        p_bad_to_good: 0.3,
+        loss_good: 0.0,
+        loss_bad: 0.0,
+    };
+    let faults = FaultSchedule::new().at(
+        SimDuration::from_millis(700),
+        Fault::BurstLoss {
+            model: harmless,
+            duration: SimDuration::from_millis(1200),
+        },
+    );
+    let clean = run(Transport::Udp, 5);
+    let probed = run_with(Transport::Udp, 5, NetConfig::lan(), faults);
+    assert_eq!(probed.net.fault_drops, 0);
+    assert_eq!(fingerprint(&clean), fingerprint(&probed));
+}
+
+#[test]
+fn lossy_runs_replay_identically_and_diverge_from_clean() {
+    let mut lossy = NetConfig::lan();
+    lossy.udp_loss = 0.03;
+    let a = run_with(Transport::Udp, 11, lossy.clone(), FaultSchedule::new());
+    let b = run_with(Transport::Udp, 11, lossy, FaultSchedule::new());
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "loss must replay from the seed"
+    );
+    assert!(a.net.udp_lost > 0, "the loss model must have fired");
+    let clean = run(Transport::Udp, 11);
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&clean),
+        "dropped packets must have observable effects"
+    );
 }
 
 #[test]

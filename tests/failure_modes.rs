@@ -2,6 +2,7 @@
 //! descriptor/port starvation at 120 s idle timeouts, and stateful-proxy
 //! recovery on a lossy network.
 
+use siperf::faults::{Fault, FaultSchedule};
 use siperf::proxy::config::{ProxyConfig, Transport};
 use siperf::simcore::time::{SimDuration, SimTime};
 use siperf::simnet::NetConfig;
@@ -162,4 +163,61 @@ fn long_idle_timeouts_starve_the_descriptor_budget() {
         tput_short > 2.0 * tput_long,
         "starvation costs throughput: {tput_short} vs {tput_long}"
     );
+}
+
+/// Crashes one worker in the middle of the call phase and lets the
+/// supervisor/respawn machinery pick up the pieces: orphaned connections
+/// are re-announced to the replacement (TCP), shared sockets are re-dup'd
+/// from a sibling (UDP/SCTP), and phones re-drive disturbed calls.
+fn worker_crash_run(transport: Transport) -> siperf::workload::ScenarioReport {
+    let faults = FaultSchedule::new().at(
+        SimDuration::from_millis(3000),
+        Fault::KillWorker { index: 2 },
+    );
+    let mut s = Scenario::builder(format!("crash-{transport:?}"))
+        .transport(transport)
+        .client_pairs(6)
+        .fault_schedule(faults)
+        .build();
+    s.call_start = SimDuration::from_millis(600);
+    s.measure_from = SimDuration::from_millis(1200);
+    s.measure = SimDuration::from_secs(4);
+    s.run()
+}
+
+fn assert_crash_tolerated(report: &siperf::workload::ScenarioReport, transport: Transport) {
+    assert_eq!(
+        report.workers_respawned, 1,
+        "{transport:?}: crash not applied"
+    );
+    assert!(report.ops_total > 0, "{transport:?}: nothing completed");
+    let failure_ratio = report.call_failures as f64 / report.call_attempts.max(1) as f64;
+    assert!(
+        failure_ratio < 0.2,
+        "{transport:?}: a single worker crash sank {:.0}% of calls",
+        failure_ratio * 100.0
+    );
+}
+
+#[test]
+fn udp_tolerates_a_mid_call_worker_crash() {
+    let report = worker_crash_run(Transport::Udp);
+    assert_crash_tolerated(&report, Transport::Udp);
+}
+
+#[test]
+fn tcp_tolerates_a_mid_call_worker_crash() {
+    let report = worker_crash_run(Transport::Tcp);
+    assert_crash_tolerated(&report, Transport::Tcp);
+    // The replacement worker inherits the crashed worker's connections.
+    assert!(
+        report.proxy.conns_reassigned > 0 || report.open_conns > 0,
+        "supervisor re-announced no connections"
+    );
+}
+
+#[test]
+fn sctp_tolerates_a_mid_call_worker_crash() {
+    let report = worker_crash_run(Transport::Sctp);
+    assert_crash_tolerated(&report, Transport::Sctp);
 }
