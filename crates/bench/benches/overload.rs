@@ -1,12 +1,15 @@
 //! Goodput vs offered load under overload control.
 //!
-//! Sweeps the offered load from well below to ~3× the proxy's capacity
-//! (the knee sits near 600 caller/callee pairs) for each transport and
-//! each admission policy, and prints goodput next to the offered rate.
-//! The table shows the motivating contrast: without control, pushing
-//! past saturation buys nothing but latency (UDP) or queueing collapse
-//! (TCP); with admission control the proxy sheds the excess with 503s
-//! and holds its goodput near the saturation peak.
+//! Two sweeps per transport × admission policy:
+//!
+//! * **Closed loop** — caller/callee pairs from well below to ~3× the
+//!   capacity knee (~600 pairs). Offered load self-throttles to the
+//!   completion rate, so the contrast shows in latency and rejections.
+//! * **Open loop** (UDP) — Poisson arrival rates swept through the knee
+//!   (~16k calls/s on this topology), goodput deadline-scored at 200 ms.
+//!   This is the literature's goodput-vs-offered-load curve: NoControl
+//!   falls off a cliff past saturation; admission control sheds the
+//!   excess with fast-path 503s and holds near its peak.
 //!
 //! Run: `cargo bench --bench overload`
 //! (set `SIPERF_MEASURE_SECS` to lengthen the measured window)
@@ -23,6 +26,48 @@ fn policies() -> Vec<OverloadConfig> {
         OverloadConfig::queue_threshold_default(),
         OverloadConfig::window_feedback_default(),
     ]
+}
+
+/// Open-loop Poisson arrival rates (calls/s) bracketing the ~16k calls/s
+/// saturation knee of the 300-callee topology.
+const RATES: [f64; 4] = [12_000.0, 18_000.0, 24_000.0, 30_000.0];
+
+fn open_loop_sweep(measure_ms: u64) {
+    println!("== Open loop (UDP): Poisson arrivals, 200 ms setup deadline ==");
+    for policy in policies() {
+        println!(
+            "{:<18} {:>9} {:>10} {:>10} {:>7} {:>9} {:>8} {:>10}",
+            "policy", "rate/s", "offered/s", "goodput/s", "good%", "rejected", "late", "p50"
+        );
+        let mut peak = 0.0f64;
+        for rate in RATES {
+            let mut s = Scenario::builder(format!("open-{}", policy.token()))
+                .transport(Transport::Udp)
+                .overload_policy(policy.clone())
+                .client_pairs(300)
+                .arrival_rate(rate)
+                .setup_deadline(SimDuration::from_millis(200))
+                .build();
+            s.call_start = SimDuration::from_millis(700);
+            s.measure_from = SimDuration::from_millis(2000);
+            s.measure = SimDuration::from_millis(measure_ms);
+            let r = s.run();
+            let goodput = r.throughput.per_sec();
+            peak = peak.max(goodput);
+            println!(
+                "{:<18} {:>9.0} {:>10.0} {:>10.0} {:>6.0}% {:>9} {:>8} {:>10}",
+                policy.token(),
+                rate,
+                r.offered.per_sec(),
+                goodput,
+                100.0 * goodput / peak,
+                r.calls_rejected,
+                r.calls_late,
+                r.invite_p50.to_string(),
+            );
+        }
+        println!();
+    }
 }
 
 fn main() {
@@ -65,6 +110,8 @@ fn main() {
             println!();
         }
     }
+
+    open_loop_sweep(measure_ms);
 
     println!("good% is relative to the best goodput that policy reached in the");
     println!("sweep: watch NoControl fall away past the knee while the");

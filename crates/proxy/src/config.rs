@@ -73,6 +73,11 @@ pub struct AppCostModel {
     pub usrloc_lookup: u64,
     /// Building + serializing one outgoing message.
     pub build_message: u64,
+    /// Shedding an INVITE on the pre-parse fast path: request-line sniff,
+    /// policy check, canned 503. Must stay far below the full
+    /// parse/route/build pipeline — rejection that costs a significant
+    /// fraction of serving burns the capacity the policy is defending.
+    pub shed_fast: u64,
     /// Inserting a retransmission timer into the shared list.
     pub timer_insert: u64,
     /// Timer-process cost to examine one timer entry.
@@ -99,6 +104,7 @@ impl AppCostModel {
             route_response: 5_500,
             usrloc_lookup: 3_000,
             build_message: 3_500,
+            shed_fast: 1_800,
             timer_insert: 1_200,
             timer_scan_entry: 150,
             idle_scan_entry: 600,
@@ -273,5 +279,17 @@ mod tests {
         let c = AppCostModel::opteron_2006();
         assert!(c.parse_cost(800) > c.parse_cost(200));
         assert_eq!(c.parse_cost(0), c.parse_base);
+    }
+
+    #[test]
+    fn shed_fast_is_far_cheaper_than_the_full_rejection_path() {
+        // An overload policy only defends goodput if refusing a call is
+        // nearly free relative to serving one: at 2× overload the admitted
+        // rate is (capacity − offered·x)/(1 − x) for rejection/serve cost
+        // ratio x, so x must stay under ~0.1 for the policy to hold ~90%
+        // of its peak.
+        let c = AppCostModel::opteron_2006();
+        let full_reject = c.parse_cost(500) + c.route_request + c.usrloc_lookup + c.build_message;
+        assert!(c.shed_fast * 10 <= full_reject);
     }
 }

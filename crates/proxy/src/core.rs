@@ -116,6 +116,23 @@ pub struct Plan {
     pub rejected: bool,
 }
 
+/// The outcome of offering a message to the pre-parse shed fast path
+/// ([`ProxyCore::fast_admission`]).
+#[derive(Debug)]
+pub enum FastAdmission {
+    /// Not a sheddable new INVITE (or it cannot be routed); run the full
+    /// path — the policy was not consulted.
+    NotEligible,
+    /// Admitted. The caller must immediately route the same message
+    /// through [`ProxyCore::handle_message`], which consumes the stored
+    /// grant instead of consulting the policy a second time.
+    Admitted,
+    /// Shed: send the 503 and charge only the fast-path cost
+    /// (`AppCostModel::shed_fast`) instead of the parse/route/build
+    /// pipeline.
+    Shed(Plan),
+}
+
 /// What the timer process must do after one pass.
 #[derive(Debug, Clone, Default)]
 pub struct TimerPass {
@@ -173,6 +190,11 @@ pub struct ProxyCore {
     policy: Box<dyn OverloadPolicy>,
     active_txns: usize,
     worker_backlog: Vec<usize>,
+    /// A [`Self::fast_admission`] grant awaiting its `handle_message` call.
+    /// Consumed (and cleared) by the very next request routed, so the
+    /// policy's admit/complete bookkeeping stays exactly 1:1 even though
+    /// admission moved ahead of parsing.
+    preadmitted: bool,
 }
 
 impl ProxyCore {
@@ -192,6 +214,7 @@ impl ProxyCore {
             policy: Box::new(NoControl),
             active_txns: 0,
             worker_backlog: Vec::new(),
+            preadmitted: false,
         }
     }
 
@@ -261,6 +284,67 @@ impl ProxyCore {
         }
     }
 
+    /// Offers an inbound message to the overload shed fast path *before*
+    /// the worker charges parse and routing costs. Servers in the SER
+    /// lineage refuse new work from the request line alone while
+    /// shedding, because rejection must cost far less than service: the
+    /// full-pipeline 503 (parse, transaction match, location lookup,
+    /// build) runs near 20% of a served call, which mathematically caps
+    /// the goodput any admission policy can hold at 2× overload around
+    /// 80% of its peak no matter how it decides.
+    ///
+    /// The eligibility filters mirror `handle_request`'s pre-admission
+    /// sequence exactly — retransmissions, spent hop budgets, and unknown
+    /// callees all fall through to the full path for their usual
+    /// treatment — so the policy still sees each sheddable INVITE exactly
+    /// once, and an [`FastAdmission::Admitted`] grant is guaranteed to
+    /// reach the transaction-creation point when the caller immediately
+    /// routes the same message through [`Self::handle_message`].
+    pub fn fast_admission(
+        &mut self,
+        now: SimTime,
+        msg: &SipMessage,
+        src: SockAddr,
+    ) -> FastAdmission {
+        if !self.stateful || msg.method() != Some(Method::Invite) {
+            return FastAdmission::NotEligible;
+        }
+        // Retransmissions of already-admitted INVITEs must be absorbed by
+        // their transaction, not answered 503.
+        if let Some(key) = TxnKey::of(msg) {
+            if self.txn_index.contains_key(&key) {
+                return FastAdmission::NotEligible;
+            }
+        }
+        // Unroutable requests get their diagnostic (500/404) from the full
+        // path; admission only governs calls the proxy could serve.
+        if msg.max_forwards == 0 || !self.registrar.contains_key(&msg.to.uri.user) {
+            return FastAdmission::NotEligible;
+        }
+        let load = self.load_signals();
+        match self.policy.admit(now, src, &load) {
+            Verdict::Admit => {
+                self.preadmitted = true;
+                FastAdmission::Admitted
+            }
+            Verdict::Reject { retry_after } => {
+                self.stats.requests += 1;
+                self.stats.overload_rejections += 1;
+                self.stats.local_replies += 1;
+                let resp = gen::service_unavailable(msg, retry_after);
+                FastAdmission::Shed(Plan {
+                    out: vec![Outgoing {
+                        bytes: bytes_from(resp.to_bytes()),
+                        dest: src,
+                        alt: None,
+                    }],
+                    rejected: true,
+                    ..Plan::default()
+                })
+            }
+        }
+    }
+
     /// Routes one parsed message. The caller must hold the transaction
     /// lock, per OpenSER's discipline.
     pub fn handle_message(&mut self, now: SimTime, msg: SipMessage, src: SockAddr) -> Plan {
@@ -273,6 +357,7 @@ impl ProxyCore {
 
     fn handle_request(&mut self, now: SimTime, msg: SipMessage, src: SockAddr) -> Plan {
         self.stats.requests += 1;
+        let preadmitted = std::mem::take(&mut self.preadmitted);
         let mut plan = Plan::default();
         let method = msg.method().expect("checked is_request");
 
@@ -379,7 +464,7 @@ impl ProxyCore {
         // check sits after the retransmission and registrar filters so the
         // policy's admit/complete bookkeeping pairs 1:1 with transactions.
         let policy_tracked = self.stateful && method == Method::Invite;
-        if policy_tracked {
+        if policy_tracked && !preadmitted {
             let load = self.load_signals();
             if let Verdict::Reject { retry_after } = self.policy.admit(now, src, &load) {
                 self.stats.overload_rejections += 1;
@@ -893,6 +978,121 @@ mod tests {
         assert!(!plan.rejected && plan.txn_created);
         let reg = gen::register(&alice(), "sip.lab", 2, "z9hG4bKr2", "UDP");
         assert!(c.handle_message(t(3), reg, a_src()).registered);
+    }
+
+    #[test]
+    fn fast_path_sheds_from_the_request_line() {
+        use siperf_overload::QueueThreshold;
+        let mut c = registered_core(Transport::Udp, true);
+        c.set_overload_policy(Box::new(QueueThreshold::new(0, 0, 5)));
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        let FastAdmission::Shed(plan) = c.fast_admission(t(0), &inv, a_src()) else {
+            panic!("shed-everything policy must refuse on the fast path");
+        };
+        assert!(plan.rejected && !plan.txn_created);
+        let resp = parse_message(&plan.out[0].bytes).unwrap();
+        assert_eq!(resp.status(), Some(StatusCode::SERVICE_UNAVAILABLE));
+        assert_eq!(resp.retry_after, Some(5));
+        assert_eq!(plan.out[0].dest, a_src());
+        assert_eq!(c.stats.overload_rejections, 1);
+        assert_eq!(c.live_txns(), 0, "no transaction for a shed call");
+    }
+
+    #[test]
+    fn fast_path_skips_retransmissions_and_unroutable_requests() {
+        use siperf_overload::QueueThreshold;
+        let mut c = registered_core(Transport::Udp, true);
+        c.set_overload_policy(Box::new(QueueThreshold::new(1, 0, 3)));
+
+        // First INVITE: admitted on the fast path, then routed.
+        let inv = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        assert!(matches!(
+            c.fast_admission(t(0), &inv, a_src()),
+            FastAdmission::Admitted
+        ));
+        assert!(c.handle_message(t(0), inv.clone(), a_src()).txn_created);
+
+        // Its retransmission must be absorbed, never 503'd — even though
+        // the policy is now shedding (level 1 ≥ high 1).
+        assert!(matches!(
+            c.fast_admission(t(1), &inv, a_src()),
+            FastAdmission::NotEligible
+        ));
+        assert!(c.handle_message(t(1), inv, a_src()).absorbed);
+
+        // Unknown callees fall through for their 404.
+        let nobody = gen::invite(
+            &alice(),
+            &CallParty::new("nobody", "h9:29999"),
+            "sip.lab",
+            "c2",
+            "z9hG4bKa2",
+            "UDP",
+        );
+        assert!(matches!(
+            c.fast_admission(t(2), &nobody, a_src()),
+            FastAdmission::NotEligible
+        ));
+
+        // Non-INVITEs are never policy business.
+        let bye = gen::bye(&alice(), &bob(), "sip.lab", "c0", "bt", "z9hG4bKb", "UDP");
+        assert!(matches!(
+            c.fast_admission(t(3), &bye, a_src()),
+            FastAdmission::NotEligible
+        ));
+    }
+
+    #[test]
+    fn fast_path_grant_is_consumed_exactly_once() {
+        use siperf_overload::QueueThreshold;
+        let mut c = registered_core(Transport::Udp, true);
+        c.set_overload_policy(Box::new(QueueThreshold::new(1, 0, 3)));
+        let inv1 = gen::invite(&alice(), &bob(), "sip.lab", "c1", "z9hG4bKa1", "UDP");
+        assert!(matches!(
+            c.fast_admission(t(0), &inv1, a_src()),
+            FastAdmission::Admitted
+        ));
+        assert!(c.handle_message(t(0), inv1, a_src()).txn_created);
+        // The grant died with that call: a second INVITE routed without
+        // the fast path still faces the (now shedding) policy.
+        let inv2 = gen::invite(&bob(), &alice(), "sip.lab", "c2", "z9hG4bKa2", "UDP");
+        let plan = c.handle_message(t(1), inv2, b_src());
+        assert!(plan.rejected && !plan.txn_created);
+    }
+
+    #[test]
+    fn fast_path_admissions_count_once_against_a_window() {
+        use siperf_overload::WindowFeedback;
+        let mut c = registered_core(Transport::Udp, true);
+        // Window of 8: if the fast path and the full path each charged the
+        // window for the same INVITE, the 5th call would already be shed.
+        c.set_overload_policy(Box::new(WindowFeedback::new(usize::MAX, 1)));
+        for i in 0..8 {
+            let inv = gen::invite(
+                &alice(),
+                &bob(),
+                "sip.lab",
+                &format!("c{i}"),
+                &format!("z9hG4bKa{i}"),
+                "UDP",
+            );
+            assert!(
+                matches!(
+                    c.fast_admission(t(i), &inv, a_src()),
+                    FastAdmission::Admitted
+                ),
+                "call {i} fits the window of 8"
+            );
+            assert!(c.handle_message(t(i), inv, a_src()).txn_created);
+        }
+        let inv9 = gen::invite(&alice(), &bob(), "sip.lab", "c9", "z9hG4bKa9", "UDP");
+        assert!(
+            matches!(
+                c.fast_admission(t(9), &inv9, a_src()),
+                FastAdmission::Shed(_)
+            ),
+            "window exhausted only at its true size"
+        );
     }
 
     #[test]

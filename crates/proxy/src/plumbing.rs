@@ -44,6 +44,9 @@ pub mod tags {
     pub const USRLOC: &str = "user/usrloc_lookup";
     /// Building and serializing an outgoing message.
     pub const BUILD: &str = "user/build_msg";
+    /// The pre-parse overload shed fast path (request-line sniff + canned
+    /// 503).
+    pub const SHED_FAST: &str = "user/shed_fast";
     /// Inserting a retransmission timer.
     pub const TIMER_INSERT: &str = "user/timer_insert";
     /// The timer process's scan.

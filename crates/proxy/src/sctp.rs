@@ -18,7 +18,7 @@ use siperf_simos::syscall::{Fd, SysResult, Syscall};
 use siperf_sip::parse::parse_message;
 
 use crate::config::{AppCostModel, Transport};
-use crate::core::ProxyCore;
+use crate::core::{FastAdmission, ProxyCore};
 use crate::plumbing::{routing_script, Locks};
 
 /// One symmetric SCTP worker process.
@@ -86,7 +86,27 @@ impl Process for SctpWorker {
                         // Overload-signal hook: like UDP, SCTP queueing
                         // happens in the kernel association buffers, so only
                         // the transaction count reaches the policy.
-                        let plan = self.core.borrow_mut().handle_message(ctx.now, msg, from);
+                        let mut core = self.core.borrow_mut();
+                        if let FastAdmission::Shed(plan) = core.fast_admission(ctx.now, &msg, from)
+                        {
+                            // Shed fast path: refuse from the request line,
+                            // skipping the parse/route/build pipeline.
+                            drop(core);
+                            self.script.push_back(Syscall::Compute {
+                                ns: self.costs.shed_fast,
+                                tag: crate::plumbing::tags::SHED_FAST,
+                            });
+                            for out in plan.out {
+                                self.script.push_back(Syscall::SctpSend {
+                                    fd: self.fd,
+                                    to: out.dest,
+                                    data: out.bytes,
+                                });
+                            }
+                            return self.script.pop_front().expect("shed plan has a 503");
+                        }
+                        let plan = core.handle_message(ctx.now, msg, from);
+                        drop(core);
                         routing_script(
                             &mut self.script,
                             &self.costs,

@@ -33,7 +33,7 @@ use siperf_sip::parse::parse_message;
 use crate::config::ProxyConfig;
 use crate::config::{IdleStrategy, Transport};
 use crate::conn::{ConnId, ConnTable};
-use crate::core::{Outgoing, ProxyCore};
+use crate::core::{FastAdmission, Outgoing, ProxyCore};
 use crate::plumbing::{decode_addr, encode_addr, routing_script, tags, Locks};
 
 /// Supervisor → worker: a new connection with its descriptor.
@@ -606,15 +606,25 @@ impl TcpWorker {
             }
             Ok(msg) => {
                 let was_request = msg.is_request();
-                let plan = {
-                    let mut core = self.shared.core.borrow_mut();
-                    // Overload-signal hook: messages already framed but not
-                    // yet routed are backlog the transaction table cannot
-                    // see; report before routing so admission decisions use
-                    // this worker's fresh depth.
-                    core.note_worker_backlog(self.idx, self.msg_q.len() + self.out_q.len());
-                    core.handle_message(now, msg, src)
-                };
+                let mut core = self.shared.core.borrow_mut();
+                // Overload-signal hook: messages already framed but not
+                // yet routed are backlog the transaction table cannot
+                // see; report before routing so admission decisions use
+                // this worker's fresh depth.
+                core.note_worker_backlog(self.idx, self.msg_q.len() + self.out_q.len());
+                if let FastAdmission::Shed(plan) = core.fast_admission(now, &msg, src) {
+                    // Shed fast path: refuse from the request line, skipping
+                    // the parse/route/build pipeline.
+                    drop(core);
+                    self.script.push_back(Syscall::Compute {
+                        ns: self.costs().shed_fast,
+                        tag: tags::SHED_FAST,
+                    });
+                    self.out_q.extend(plan.out);
+                    return;
+                }
+                let plan = core.handle_message(now, msg, src);
+                drop(core);
                 let costs = self.shared.cfg.app_costs.clone();
                 routing_script(
                     &mut self.script,

@@ -15,7 +15,7 @@ use siperf_simos::syscall::{Fd, SysResult, Syscall};
 use siperf_sip::parse::parse_message;
 
 use crate::config::{AppCostModel, Transport};
-use crate::core::ProxyCore;
+use crate::core::{FastAdmission, ProxyCore};
 use crate::plumbing::{routing_script, Locks};
 
 /// One symmetric UDP worker process.
@@ -87,7 +87,29 @@ impl Process for UdpWorker {
                         // datagram at a time — the backlog lives in the
                         // kernel socket buffer where OpenSER cannot see it,
                         // so the policy gets only the transaction count.
-                        let plan = self.core.borrow_mut().handle_message(ctx.now, msg, from);
+                        let mut core = self.core.borrow_mut();
+                        if let FastAdmission::Shed(plan) = core.fast_admission(ctx.now, &msg, from)
+                        {
+                            // Shed fast path: the request line alone
+                            // identified a refusable INVITE, so skip the
+                            // parse/route/build pipeline and charge only
+                            // the sniff + canned 503.
+                            drop(core);
+                            self.script.push_back(Syscall::Compute {
+                                ns: self.costs.shed_fast,
+                                tag: crate::plumbing::tags::SHED_FAST,
+                            });
+                            for out in plan.out {
+                                self.script.push_back(Syscall::UdpSend {
+                                    fd: self.fd,
+                                    to: out.dest,
+                                    data: out.bytes,
+                                });
+                            }
+                            return self.script.pop_front().expect("shed plan has a 503");
+                        }
+                        let plan = core.handle_message(ctx.now, msg, from);
+                        drop(core);
                         routing_script(
                             &mut self.script,
                             &self.costs,

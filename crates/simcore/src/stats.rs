@@ -222,18 +222,22 @@ pub struct WindowRate {
 
 impl WindowRate {
     /// Builds a rate from an operation count and a window length in seconds.
+    /// A non-positive (or non-finite) window is stored as-is; [`per_sec`]
+    /// reports 0 for it rather than NaN/infinity, so a degenerate window
+    /// degrades to "no rate" instead of poisoning downstream arithmetic.
     ///
-    /// # Panics
-    ///
-    /// Panics if `window_secs` is not positive.
+    /// [`per_sec`]: WindowRate::per_sec
     pub fn new(ops: u64, window_secs: f64) -> Self {
-        assert!(window_secs > 0.0, "window must be positive");
         WindowRate { ops, window_secs }
     }
 
-    /// Operations per second.
+    /// Operations per second; 0 when the window is empty or inverted.
     pub fn per_sec(self) -> f64 {
-        self.ops as f64 / self.window_secs
+        if self.window_secs > 0.0 && self.window_secs.is_finite() {
+            self.ops as f64 / self.window_secs
+        } else {
+            0.0
+        }
     }
 
     /// Raw operation count.
@@ -342,9 +346,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window must be positive")]
-    fn window_rate_rejects_zero_window() {
-        WindowRate::new(1, 0.0);
+    fn window_rate_degenerate_windows_report_zero() {
+        assert_eq!(WindowRate::new(1, 0.0).per_sec(), 0.0);
+        assert_eq!(WindowRate::new(1, -3.0).per_sec(), 0.0);
+        assert_eq!(WindowRate::new(1, f64::NAN).per_sec(), 0.0);
     }
 
     #[test]

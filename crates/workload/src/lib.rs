@@ -10,6 +10,8 @@
 //! * [`phone_msg`] — UDP/SCTP phone processes.
 //! * [`phone_tcp`] — TCP phone processes with listen sockets, never-closed
 //!   connections, and the 50/500 ops-per-connection reconnect policies.
+//! * [`open_loop`] — open-loop Poisson callers that offer load regardless
+//!   of outstanding calls (the x-axis of goodput-vs-offered-load curves).
 //! * [`scenario`] — world construction, execution, and the full
 //!   [`scenario::ScenarioReport`].
 //! * [`experiments`] — the paper's grid: Figures 3–5 cells, the §4.3
@@ -35,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod open_loop;
 pub mod phone;
 pub mod phone_msg;
 pub mod phone_tcp;

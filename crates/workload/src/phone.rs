@@ -11,6 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use siperf_simcore::rng::SimRng;
 use siperf_simcore::time::{SimDuration, SimTime};
 use siperf_simnet::addr::SockAddr;
 use siperf_simnet::endpoint::{bytes_from, Bytes};
@@ -26,6 +27,23 @@ pub const REJECT_BACKOFF_CAP_SECS: u64 = 8;
 
 /// [`REJECT_BACKOFF_CAP_SECS`] as a duration.
 pub const REJECT_BACKOFF_CAP: SimDuration = SimDuration::from_secs(REJECT_BACKOFF_CAP_SECS);
+
+/// Computes the capped-exponential 503 backoff with bounded "equal jitter":
+/// half the nominal delay is kept, the other half drawn uniformly from the
+/// phone's own RNG stream, so the delay lands in `[nominal/2, nominal]`.
+/// Without the jitter every phone shed in the same burst would wake on
+/// exactly the same virtual tick `retry_after · 2^k` later and re-offer its
+/// load in lockstep; with it the retries spread out while the delay stays
+/// below [`REJECT_BACKOFF_CAP`] and replays identically from the seed.
+pub fn reject_backoff(retry_after: u32, consecutive_rejects: u32, rng: &mut SimRng) -> SimDuration {
+    let base = u64::from(retry_after.max(1));
+    let shifted = base
+        .checked_shl(consecutive_rejects.min(16))
+        .unwrap_or(u64::MAX);
+    let nominal_ns = shifted.min(REJECT_BACKOFF_CAP_SECS) * 1_000_000_000;
+    let half = nominal_ns / 2;
+    SimDuration::from_nanos(half + rng.range_u64(0..half + 1))
+}
 
 /// Whether a phone initiates calls or answers them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +86,10 @@ pub struct PhoneCfg {
     pub ring_delay: siperf_simcore::time::SimDuration,
     /// CPU charged per message handled by the phone.
     pub proc_ns: u64,
+    /// Seed for the phone's private RNG stream (503 backoff jitter). Each
+    /// phone gets its own stream so jitter draws never perturb any other
+    /// phone's behaviour and same-seed runs replay bit-identically.
+    pub jitter_seed: u64,
     /// Shared result sink.
     pub stats: Rc<RefCell<WorkloadStats>>,
 }
@@ -143,6 +165,8 @@ pub struct CallEngine {
     backoff_until: Option<SimTime>,
     /// Consecutive 503s without an admitted call (backoff exponent).
     consecutive_rejects: u32,
+    /// Private jitter stream (503 backoff desynchronization).
+    rng: SimRng,
     /// Operations completed since the engine started (drives reconnects).
     pub ops_done: u64,
 }
@@ -162,6 +186,7 @@ impl CallEngine {
             call: None,
             backoff_until: None,
             consecutive_rejects: 0,
+            rng: SimRng::seed_from_u64(cfg.jitter_seed),
             ops_done: 0,
         }
     }
@@ -338,16 +363,17 @@ impl CallEngine {
                     return EngineAction::Send(vec![self.start_call(now)]);
                 }
                 if code == StatusCode::SERVICE_UNAVAILABLE {
-                    // The proxy shed us. Honor Retry-After with capped
-                    // exponential backoff: the advertised wait doubles per
-                    // consecutive rejection so a persistently overloaded
-                    // proxy sees the retry rate fall instead of a
-                    // synchronized stampede every Retry-After period.
-                    let base = u64::from(msg.retry_after.unwrap_or(1).max(1));
-                    let shifted = base
-                        .checked_shl(self.consecutive_rejects.min(16))
-                        .unwrap_or(u64::MAX);
-                    let delay = SimDuration::from_secs(shifted.min(REJECT_BACKOFF_CAP_SECS));
+                    // The proxy shed us. Honor Retry-After with capped,
+                    // jittered exponential backoff: the advertised wait
+                    // doubles per consecutive rejection so a persistently
+                    // overloaded proxy sees the retry rate fall, and the
+                    // jitter spreads a shedding burst's retries out instead
+                    // of waking every rejected phone on the same tick.
+                    let delay = reject_backoff(
+                        msg.retry_after.unwrap_or(1),
+                        self.consecutive_rejects,
+                        &mut self.rng,
+                    );
                     self.consecutive_rejects = self.consecutive_rejects.saturating_add(1);
                     self.call = None;
                     self.backoff_until = Some(now + delay);
@@ -530,6 +556,7 @@ mod tests {
             cancel_every: None,
             ring_delay: SimDuration::ZERO,
             proc_ns: 500,
+            jitter_seed: 7,
             stats: WorkloadStats::new((t(0), t(1_000_000))),
         }
     }
@@ -672,13 +699,17 @@ mod tests {
         let invite = e.start_call(t(0));
         let req = parse_message(&invite).unwrap();
 
-        // 503 + Retry-After: 2 → back off two seconds, no failure counted.
+        // 503 + Retry-After: 2 → back off a jittered [1 s, 2 s], no failure
+        // counted.
         let rejected = gen::service_unavailable(&req, 2);
         let EngineAction::Wait(until) = e.on_response(t(100), &rejected) else {
             panic!("expected backoff wait");
         };
-        assert_eq!(until, t(2_100));
-        assert_eq!(e.next_wake(), t(2_100));
+        assert!(
+            until >= t(1_100) && until <= t(2_100),
+            "jittered backoff {until:?} outside [nominal/2, nominal]"
+        );
+        assert_eq!(e.next_wake(), until);
         {
             let s = cfg.stats.borrow();
             assert_eq!(s.calls_rejected, 1);
@@ -687,7 +718,7 @@ mod tests {
 
         // Waking early keeps waiting; at the deadline the retry fires.
         assert!(matches!(e.on_timer(t(1_000)), EngineAction::Wait(_)));
-        let EngineAction::Send(msgs) = e.on_timer(t(2_100)) else {
+        let EngineAction::Send(msgs) = e.on_timer(until) else {
             panic!("expected retry INVITE");
         };
         let retry = parse_message(&msgs[0]).unwrap();
@@ -714,7 +745,19 @@ mod tests {
             delays.push((until - now).as_secs_f64());
             now = until;
         }
-        assert_eq!(delays, vec![1.0, 2.0, 4.0, 8.0, 8.0], "doubling, capped");
+        // The nominal delay doubles 1, 2, 4, 8, 8 (capped); jitter keeps
+        // each draw inside [nominal/2, nominal].
+        for (delay, nominal) in delays.iter().zip([1.0, 2.0, 4.0, 8.0, 8.0]) {
+            assert!(
+                (nominal / 2.0..=nominal).contains(delay),
+                "delay {delay} outside [{}, {nominal}]",
+                nominal / 2.0
+            );
+        }
+        assert!(
+            delays[4] <= REJECT_BACKOFF_CAP.as_secs_f64(),
+            "cap exceeded: {delays:?}"
+        );
 
         // An admitted, completed call resets the exponent.
         let invite = e.start_call(now);
@@ -728,7 +771,43 @@ mod tests {
         let EngineAction::Wait(until) = e.on_response(now, &rejected) else {
             panic!("expected backoff");
         };
-        assert_eq!((until - now).as_secs_f64(), 1.0, "exponent was reset");
+        let reset_delay = (until - now).as_secs_f64();
+        assert!(
+            (0.5..=1.0).contains(&reset_delay),
+            "exponent was not reset: {reset_delay}"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_replays_from_the_seed_and_desynchronizes_phones() {
+        let rejected_delays = |seed: u64| -> Vec<SimDuration> {
+            let mut c = cfg(false);
+            c.jitter_seed = seed;
+            let mut e = CallEngine::new(&c, HostId(1));
+            let mut now = t(0);
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                let invite = e.start_call(now);
+                let req = parse_message(&invite).unwrap();
+                let rejected = gen::service_unavailable(&req, 1);
+                let EngineAction::Wait(until) = e.on_response(now, &rejected) else {
+                    panic!("expected backoff");
+                };
+                out.push(until - now);
+                now = until;
+            }
+            out
+        };
+        assert_eq!(
+            rejected_delays(11),
+            rejected_delays(11),
+            "same seed must replay the same jitter"
+        );
+        assert_ne!(
+            rejected_delays(11),
+            rejected_delays(12),
+            "different phones must not retry in lockstep"
+        );
     }
 
     #[test]

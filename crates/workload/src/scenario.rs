@@ -19,6 +19,7 @@ use siperf_simnet::{NetConfig, NetStats};
 use siperf_simos::cost::CostModel;
 use siperf_simos::kernel::{Kernel, KernelStats};
 
+use crate::open_loop::{OpenLoopCfg, OpenLoopMsgPhone, OpenLoopTcpPhone};
 use crate::phone::{PhoneCfg, Role};
 use crate::phone_msg::{MsgPhone, MsgTransport};
 use crate::phone_tcp::TcpPhone;
@@ -51,6 +52,17 @@ pub struct Scenario {
     pub measure_from: SimDuration,
     /// Measurement window length.
     pub measure: SimDuration,
+    /// Open-loop mode: aggregate Poisson call-arrival rate in calls per
+    /// second, split evenly across one open-loop caller per client host.
+    /// `None` (the default) keeps the closed-loop caller/callee pairs; with
+    /// `Some(rate)`, [`Scenario::pairs`] counts callees only and arrivals
+    /// keep coming regardless of how many calls are outstanding.
+    pub arrival_rate: Option<f64>,
+    /// Setup-delay budget for open-loop calls: a call whose INVITE
+    /// transaction takes longer completes but scores no goodput, the way
+    /// the overload literature counts sessions established past their
+    /// deadline. Ignored in closed-loop mode.
+    pub setup_deadline: Option<SimDuration>,
     /// RNG seed; identical seeds replay identically.
     pub seed: u64,
     /// Network parameters.
@@ -80,6 +92,8 @@ impl Scenario {
                 call_start: SimDuration::from_millis(1000),
                 measure_from: SimDuration::from_millis(2000),
                 measure: SimDuration::from_secs(8),
+                arrival_rate: None,
+                setup_deadline: None,
                 seed: 42,
                 net: NetConfig::lan(),
                 kernel_costs: CostModel::opteron_2006(),
@@ -99,9 +113,12 @@ impl Scenario {
 
     /// Runs the scenario to completion and gathers every result surface.
     pub fn run(&self) -> ScenarioReport {
+        let wall_start = Instant::now();
         let mut world = self.build_world();
         self.drive(&mut world);
-        self.report(&world)
+        let mut report = self.report(&world);
+        report.wall_clock_secs = wall_start.elapsed().as_secs_f64();
+        report
     }
 
     /// Drives a built world to the end of the measurement window, applying
@@ -123,7 +140,6 @@ impl Scenario {
     /// Builds the simulated world without running it, for tests and
     /// examples that need to drive or inspect the kernel directly.
     pub fn build_world(&self) -> World {
-        let wall_start = Instant::now();
         let mut kernel = Kernel::new(self.net.clone(), self.kernel_costs.clone(), self.seed);
         let server = kernel.add_host(self.server_cores);
         let clients: Vec<HostId> = (0..self.client_hosts)
@@ -137,39 +153,95 @@ impl Scenario {
         let transport = self.proxy.transport;
         let call_start = SimTime::ZERO + self.call_start;
 
-        for i in 0..self.pairs {
-            for (k, role) in [Role::Caller, Role::Callee].into_iter().enumerate() {
-                let idx = 2 * i + k;
-                let host = clients[idx % clients.len()];
-                let (user, peer_user) = match role {
-                    Role::Caller => (format!("c{i}"), format!("e{i}")),
-                    Role::Callee => (format!("e{i}"), String::new()),
-                };
-                let cfg = PhoneCfg {
-                    user: user.clone(),
-                    peer_user,
-                    role,
-                    port: 20_000 + idx as u16,
+        // Closed loop: caller/callee pairs. Open loop: `pairs` callees plus
+        // one Poisson caller per client host; each pooled caller dials the
+        // callees uniformly.
+        let spawn_sets: Vec<(usize, Role)> = if self.arrival_rate.is_some() {
+            (0..self.pairs).map(|i| (i, Role::Callee)).collect()
+        } else {
+            (0..self.pairs)
+                .flat_map(|i| [(2 * i, Role::Caller), (2 * i + 1, Role::Callee)])
+                .collect()
+        };
+        for (idx, role) in spawn_sets {
+            let i = if self.arrival_rate.is_some() {
+                idx
+            } else {
+                idx / 2
+            };
+            let host = clients[idx % clients.len()];
+            let (user, peer_user) = match role {
+                Role::Caller => (format!("c{i}"), format!("e{i}")),
+                Role::Callee => (format!("e{i}"), String::new()),
+            };
+            let cfg = PhoneCfg {
+                user: user.clone(),
+                peer_user,
+                role,
+                port: 20_000 + idx as u16,
+                proxy: proxy.addr,
+                domain: "sip.lab".into(),
+                transport: transport.token(),
+                reliable: transport.is_reliable(),
+                call_start: call_start + SimDuration::from_nanos(rng.range_u64(0..20_000_000)),
+                stagger: SimDuration::from_nanos(rng.range_u64(1..500_000_000)),
+                ops_per_conn: self.ops_per_conn,
+                cancel_every: self.cancel_every,
+                ring_delay: self.ring_delay,
+                proc_ns: self.phone_proc_ns,
+                jitter_seed: rng.next_u64(),
+                stats: stats.clone(),
+            };
+            let name = format!("phone_{user}");
+            match transport {
+                Transport::Udp => {
+                    kernel.spawn(
+                        host,
+                        Default::default(),
+                        name,
+                        Box::new(MsgPhone::new(cfg, MsgTransport::Udp)),
+                    );
+                }
+                Transport::Sctp => {
+                    kernel.spawn(
+                        host,
+                        Default::default(),
+                        name,
+                        Box::new(MsgPhone::new(cfg, MsgTransport::Sctp)),
+                    );
+                }
+                Transport::Tcp => {
+                    kernel.spawn(host, Default::default(), name, Box::new(TcpPhone::new(cfg)));
+                }
+            }
+        }
+
+        if let Some(rate) = self.arrival_rate {
+            for (h, &host) in clients.iter().enumerate() {
+                let cfg = OpenLoopCfg {
+                    user: format!("o{h}"),
+                    callees: self.pairs,
+                    port: 30_000 + h as u16,
                     proxy: proxy.addr,
                     domain: "sip.lab".into(),
                     transport: transport.token(),
                     reliable: transport.is_reliable(),
-                    call_start: call_start + SimDuration::from_nanos(rng.range_u64(0..20_000_000)),
+                    call_start,
                     stagger: SimDuration::from_nanos(rng.range_u64(1..500_000_000)),
-                    ops_per_conn: self.ops_per_conn,
-                    cancel_every: self.cancel_every,
-                    ring_delay: self.ring_delay,
+                    arrival_rate: rate / clients.len() as f64,
+                    setup_deadline: self.setup_deadline,
                     proc_ns: self.phone_proc_ns,
+                    seed: rng.next_u64(),
                     stats: stats.clone(),
                 };
-                let name = format!("phone_{user}");
+                let name = format!("caller_o{h}");
                 match transport {
                     Transport::Udp => {
                         kernel.spawn(
                             host,
                             Default::default(),
                             name,
-                            Box::new(MsgPhone::new(cfg, MsgTransport::Udp)),
+                            Box::new(OpenLoopMsgPhone::new(cfg, MsgTransport::Udp)),
                         );
                     }
                     Transport::Sctp => {
@@ -177,11 +249,16 @@ impl Scenario {
                             host,
                             Default::default(),
                             name,
-                            Box::new(MsgPhone::new(cfg, MsgTransport::Sctp)),
+                            Box::new(OpenLoopMsgPhone::new(cfg, MsgTransport::Sctp)),
                         );
                     }
                     Transport::Tcp => {
-                        kernel.spawn(host, Default::default(), name, Box::new(TcpPhone::new(cfg)));
+                        kernel.spawn(
+                            host,
+                            Default::default(),
+                            name,
+                            Box::new(OpenLoopTcpPhone::new(cfg)),
+                        );
                     }
                 }
             }
@@ -192,11 +269,15 @@ impl Scenario {
             proxy,
             stats,
             server,
-            wall_start,
         }
     }
 
     /// Collects the report from a (fully or partially) run world.
+    ///
+    /// `wall_clock_secs` is left at 0 here — only [`Scenario::run`] spans
+    /// the whole build/drive/report cycle, so only it can stamp a
+    /// meaningful wall-clock duration. No live `Instant` is stored in the
+    /// world or the report, keeping reports comparable across runs.
     pub fn report(&self, world: &World) -> ScenarioReport {
         let window = self.window();
         let kernel = &world.kernel;
@@ -225,6 +306,7 @@ impl Scenario {
             registered: w.register_ok,
             call_attempts: w.call_attempts,
             call_failures: w.call_failures,
+            calls_late: w.calls_late,
             calls_rejected: w.calls_rejected,
             rejection_retries: w.rejection_retries,
             calls_cancelled: w.calls_cancelled,
@@ -235,6 +317,7 @@ impl Scenario {
             connections_reset: w.connections_reset,
             workers_respawned: w.workers_respawned,
             recovered_calls: w.recovered_calls,
+            open_calls_peak: w.open_calls_peak,
             invite_p50: w.invite_latency.percentile(50.0),
             invite_p99: w.invite_latency.percentile(99.0),
             bye_p50: w.bye_latency.percentile(50.0),
@@ -247,7 +330,7 @@ impl Scenario {
             server_endpoints: kernel.net().endpoints_on(server),
             server_time_wait: kernel.net().ports_in_time_wait(server),
             lock_contention,
-            wall_clock_secs: world.wall_start.elapsed().as_secs_f64(),
+            wall_clock_secs: 0.0,
         }
     }
 }
@@ -262,8 +345,6 @@ pub struct World {
     pub stats: std::rc::Rc<std::cell::RefCell<WorkloadStats>>,
     /// The server host id.
     pub server: HostId,
-    /// When construction started (for wall-clock reporting).
-    pub wall_start: Instant,
 }
 
 impl World {
@@ -390,6 +471,23 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Switches the workload to open-loop mode: calls arrive in a seeded
+    /// Poisson process at `rate` calls per second in aggregate, split
+    /// across one pooled caller per client host, regardless of how many
+    /// calls are outstanding. [`client_pairs`](Self::client_pairs) then
+    /// counts callees rather than caller/callee pairs.
+    pub fn arrival_rate(mut self, rate: f64) -> Self {
+        self.scenario.arrival_rate = Some(rate);
+        self
+    }
+
+    /// Sets the open-loop setup-delay budget: calls whose INVITE
+    /// transaction exceeds it complete but count as zero goodput.
+    pub fn setup_deadline(mut self, budget: SimDuration) -> Self {
+        self.scenario.setup_deadline = Some(budget);
+        self
+    }
+
     /// RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.scenario.seed = seed;
@@ -415,7 +513,26 @@ impl ScenarioBuilder {
     }
 
     /// Finishes building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement window is empty (a zero-length window
+    /// would make every ops-per-second figure meaningless) or if an
+    /// open-loop arrival rate is set but not positive and finite.
     pub fn build(self) -> Scenario {
+        let s = &self.scenario;
+        assert!(
+            s.measure > SimDuration::ZERO,
+            "scenario `{}`: measurement window is empty — set measure_secs > 0",
+            s.name
+        );
+        if let Some(rate) = s.arrival_rate {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "scenario `{}`: open-loop arrival rate must be positive and finite, got {rate}",
+                s.name
+            );
+        }
         self.scenario
     }
 }
@@ -442,6 +559,9 @@ pub struct ScenarioReport {
     pub call_attempts: u64,
     /// Calls that failed or timed out.
     pub call_failures: u64,
+    /// Open-loop calls that completed past the setup-delay budget (zero
+    /// goodput despite consuming full capacity).
+    pub calls_late: u64,
     /// Calls the proxy shed with `503 Service Unavailable`.
     pub calls_rejected: u64,
     /// Calls re-attempted after a 503 backoff expired.
@@ -463,6 +583,9 @@ pub struct ScenarioReport {
     /// Calls disturbed by a mid-call fault that still completed after
     /// reconnect-and-redrive.
     pub recovered_calls: u64,
+    /// Peak concurrent calls in any open-loop caller's pool (0 for
+    /// closed-loop runs).
+    pub open_calls_peak: u64,
     /// Invite-transaction latency, median.
     pub invite_p50: SimDuration,
     /// Invite-transaction latency, 99th percentile.
@@ -487,7 +610,9 @@ pub struct ScenarioReport {
     pub server_time_wait: usize,
     /// Contention ratio per proxy lock.
     pub lock_contention: Vec<(&'static str, f64)>,
-    /// Host wall-clock seconds the simulation took.
+    /// Host wall-clock seconds the simulation took, captured as a plain
+    /// duration when [`Scenario::run`] builds the report (0 when the report
+    /// was assembled from an externally-driven world).
     pub wall_clock_secs: f64,
 }
 

@@ -30,6 +30,11 @@ pub struct WorkloadStats {
     pub attempts_in_window: u64,
     /// Calls abandoned (timeout or error response).
     pub call_failures: u64,
+    /// Calls that completed but whose invite transaction exceeded the
+    /// setup-delay budget (open-loop mode). They consumed full proxy
+    /// capacity yet count as zero goodput, the way the overload literature
+    /// scores sessions established past their deadline.
+    pub calls_late: u64,
     /// Calls shed by the proxy with `503 Service Unavailable`.
     pub calls_rejected: u64,
     /// Rejections whose 503 arrived inside the window.
@@ -54,6 +59,10 @@ pub struct WorkloadStats {
     /// Calls disturbed by a transport fault (reset/EOF mid-call) that still
     /// completed after reconnect-and-redrive.
     pub recovered_calls: u64,
+    /// Highest number of calls simultaneously in flight inside any one
+    /// open-loop caller's pool (0 for closed-loop runs). Past saturation
+    /// this is the backlog the goodput cliff grows out of.
+    pub open_calls_peak: u64,
     /// Invite-transaction latency (INVITE sent → 200 received).
     pub invite_latency: Histogram,
     /// Bye-transaction latency (BYE sent → 200 received).
@@ -73,6 +82,7 @@ impl WorkloadStats {
             call_attempts: 0,
             attempts_in_window: 0,
             call_failures: 0,
+            calls_late: 0,
             calls_rejected: 0,
             rejected_in_window: 0,
             rejection_retries: 0,
@@ -84,6 +94,7 @@ impl WorkloadStats {
             connections_reset: 0,
             workers_respawned: 0,
             recovered_calls: 0,
+            open_calls_peak: 0,
             invite_latency: Histogram::new(),
             bye_latency: Histogram::new(),
         }))
@@ -130,10 +141,15 @@ impl WorkloadStats {
         }
     }
 
-    /// Throughput over the window in operations per second.
+    /// Throughput over the window in operations per second. A zero-length
+    /// (or never-configured) window yields 0, never NaN.
     pub fn throughput(&self) -> f64 {
         let secs = (self.window.1 - self.window.0).as_secs_f64();
-        self.ops_in_window as f64 / secs
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops_in_window as f64 / secs
+        }
     }
 
     /// Fraction of attempted calls that failed.
@@ -153,10 +169,15 @@ impl WorkloadStats {
         self.throughput()
     }
 
-    /// Offered load: call attempts started per second over the window.
+    /// Offered load: call attempts started per second over the window. A
+    /// zero-length window yields 0, never NaN.
     pub fn offered_rate(&self) -> f64 {
         let secs = (self.window.1 - self.window.0).as_secs_f64();
-        self.attempts_in_window as f64 / secs
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.attempts_in_window as f64 / secs
+        }
     }
 }
 
@@ -195,6 +216,17 @@ mod tests {
         s.record_invite(t(1), t(1) + SimDuration::from_millis(3));
         assert_eq!(s.invite_latency.count(), 1);
         assert!(s.invite_latency.mean() >= SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn zero_length_window_rates_are_zero_not_nan() {
+        let stats = WorkloadStats::new((t(3), t(3)));
+        let mut s = stats.borrow_mut();
+        s.ops_in_window = 5;
+        s.attempts_in_window = 9;
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.offered_rate(), 0.0);
+        assert_eq!(s.goodput(), 0.0);
     }
 
     #[test]
